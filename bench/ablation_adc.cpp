@@ -1,0 +1,83 @@
+// ADC architecture ablation (paper Sec. II-C / IV-C): the 1-hot eoADC with
+// and without its TIA/amplifier chain, the paper's proposed time-interleaved
+// extension, and the conventional electrical flash ADC it is contrasted
+// against.
+#include <iostream>
+
+#include "adc/cascaded.hpp"
+#include "adc/flash_adc.hpp"
+#include "adc/time_interleaved.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/eoadc.hpp"
+
+int main() {
+  using namespace ptc;
+  using namespace ptc::core;
+  using namespace ptc::adc;
+
+  std::cout << "ADC ablation: 1-hot eoADC vs variants vs electrical flash\n\n";
+
+  TablePrinter table({"architecture", "rate", "electrical power",
+                      "total power (incl. lasers)", "energy/conversion",
+                      "active blocks/conv"});
+
+  const EoAdc eoadc;
+  table.add_row({"eoADC (TIA + amp, paper)",
+                 units::si_format(eoadc.sample_rate(), "S/s"),
+                 units::si_format(eoadc.electrical_power(), "W"),
+                 units::si_format(eoadc.total_power(), "W"),
+                 units::si_format(eoadc.energy_per_conversion(), "J"), "1"});
+
+  EoAdcConfig no_amp;
+  no_amp.use_amplifier_chain = false;
+  const EoAdc eoadc_slow(no_amp);
+  table.add_row({"eoADC (amplifier-less)",
+                 units::si_format(eoadc_slow.sample_rate(), "S/s"),
+                 units::si_format(eoadc_slow.electrical_power(), "W"),
+                 units::si_format(eoadc_slow.total_power(), "W"),
+                 units::si_format(eoadc_slow.energy_per_conversion(), "J"),
+                 "1"});
+
+  TimeInterleavedConfig ti2;
+  ti2.slices = 2;
+  const TimeInterleavedEoAdc ti(ti2);
+  table.add_row({"eoADC x2 time-interleaved",
+                 units::si_format(ti.sample_rate(), "S/s"), "-",
+                 units::si_format(ti.total_power(), "W"),
+                 units::si_format(ti.energy_per_conversion(), "J"), "1/slice"});
+
+  CascadedEoAdc cascaded;
+  table.add_row({"eoADC cascaded 3+3 bit (shift-and-add)",
+                 units::si_format(cascaded.sample_rate(), "S/s"), "-",
+                 units::si_format(cascaded.total_power(), "W"),
+                 units::si_format(cascaded.energy_per_conversion(), "J"),
+                 "1/slice"});
+
+  const FlashAdc flash;
+  table.add_row({"electrical flash (refs [39],[40])",
+                 units::si_format(flash.sample_rate(), "S/s"),
+                 units::si_format(flash.electrical_power(), "W"),
+                 units::si_format(flash.electrical_power(), "W"),
+                 units::si_format(flash.energy_per_conversion(), "J"),
+                 std::to_string(flash.activations_per_conversion())});
+  table.print(std::cout);
+
+  const double reduction =
+      1.0 - eoadc_slow.electrical_power() / eoadc.electrical_power();
+  std::cout << "\npaper:    removing TIAs/amplifiers -> 416.7 MS/s at 58% "
+               "less electrical power\n"
+            << "measured: " << units::si_format(eoadc_slow.sample_rate(), "S/s")
+            << " at " << TablePrinter::num(100.0 * reduction, 3)
+            << "% less electrical power\n";
+
+  std::cout << "\nactivation scaling (dynamic thresholding work per "
+               "conversion):\n";
+  TablePrinter scaling({"bits", "eoADC active blocks", "flash comparators"});
+  for (unsigned bits = 2; bits <= 8; ++bits) {
+    scaling.add_row({std::to_string(bits), "1",
+                     std::to_string((1u << bits) - 1)});
+  }
+  scaling.print(std::cout);
+  return 0;
+}

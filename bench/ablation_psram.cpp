@@ -1,0 +1,52 @@
+// pSRAM write-margin ablation (paper Sec. II-A): "the write optical power
+// must exceed the input bias laser power for successful data flipping".
+// This bench maps the write success boundary over write power and pulse
+// width, and the energy cost along the success frontier.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/psram_bitcell.hpp"
+
+int main() {
+  using namespace ptc;
+  using namespace ptc::core;
+
+  std::cout << "pSRAM write margin: flip success vs write power and pulse "
+               "width (bias: -20 dBm = 10 uW)\n\n";
+
+  const double widths_ps[] = {25.0, 50.0, 100.0};
+  TablePrinter table({"write power", "vs bias", "25 ps pulse", "50 ps pulse",
+                      "100 ps pulse", "energy @50ps"});
+
+  for (double power_dbm : {-23.0, -20.0, -17.0, -14.0, -10.0, -6.0, -3.0,
+                           0.0, 3.0}) {
+    const double power_w = units::dbm_to_watt(power_dbm);
+    std::vector<std::string> cells{
+        units::si_format(power_w, "W"),
+        TablePrinter::num(power_dbm + 20.0, 3) + " dB"};
+    std::string energy_cell = "-";
+    for (double width : widths_ps) {
+      PsramConfig config;
+      config.write_power = power_w;
+      config.write_pulse_width = width * 1e-12;
+      PsramBitcell cell(config);
+      cell.initialize(false);
+      const auto result = cell.write(true);
+      cells.push_back(result.success ? "flip" : "FAIL");
+      if (width == 50.0 && result.success) {
+        energy_cell = units::si_format(result.total_energy(), "J");
+      }
+    }
+    cells.push_back(energy_cell);
+    table.add_row(cells);
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper:    write power must exceed the bias power; the "
+               "demonstrated point is 0 dBm / 50 ps at ~0.5 pJ\n"
+            << "measured: writes at or below the bias level fail; the "
+               "success frontier sits a few dB above the bias, and the "
+               "paper's 0 dBm point carries a wide margin\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// google-benchmark microbenchmarks of the simulator itself: per-query device
+// evaluation costs and end-to-end tensor-core operations.  These measure the
+// *simulator's* speed (host CPU), not the modelled hardware.
+#include <benchmark/benchmark.h>
+
+#include "core/eoadc.hpp"
+#include "core/psram_bitcell.hpp"
+#include "core/tech.hpp"
+#include "core/tensor_core.hpp"
+#include "core/vector_macro.hpp"
+#include "optics/microring.hpp"
+
+namespace {
+
+void bm_ring_transmission(benchmark::State& state) {
+  ptc::optics::Microring ring(ptc::core::compute_ring_config(0, 0.0));
+  double lambda = 1310e-9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.thru_transmission(lambda));
+    lambda += 1e-15;
+  }
+}
+BENCHMARK(bm_ring_transmission);
+
+void bm_psram_device_write(benchmark::State& state) {
+  ptc::core::PsramBitcell cell;
+  bool value = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.write(value));
+    value = !value;
+  }
+}
+BENCHMARK(bm_psram_device_write);
+
+void bm_eoadc_static_convert(benchmark::State& state) {
+  ptc::core::EoAdc adc;
+  double v = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adc.code(v));
+    v += 0.001;
+    if (v > 3.9) v = 0.1;
+  }
+}
+BENCHMARK(bm_eoadc_static_convert);
+
+void bm_eoadc_transient_convert(benchmark::State& state) {
+  ptc::core::EoAdc adc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adc.convert_transient(2.0));
+  }
+}
+BENCHMARK(bm_eoadc_transient_convert);
+
+void bm_vector_macro_multiply(benchmark::State& state) {
+  ptc::core::VectorComputeMacro macro;
+  macro.load_weights({7, 3, 5, 1});
+  const std::vector<double> in{1.0, 0.5, 0.25, 0.8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(macro.multiply(in));
+  }
+}
+BENCHMARK(bm_vector_macro_multiply);
+
+void bm_tensor_core_multiply(benchmark::State& state) {
+  ptc::core::TensorCore core;
+  std::vector<std::vector<std::uint32_t>> w(
+      16, std::vector<std::uint32_t>(16, 5));
+  core.load_weights(w);
+  const std::vector<double> input(16, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core.multiply(input));
+  }
+}
+BENCHMARK(bm_tensor_core_multiply);
+
+void bm_tensor_core_weight_reload(benchmark::State& state) {
+  ptc::core::TensorCore core;
+  std::vector<std::vector<std::uint32_t>> a(
+      16, std::vector<std::uint32_t>(16, 1));
+  std::vector<std::vector<std::uint32_t>> b(
+      16, std::vector<std::uint32_t>(16, 6));
+  bool flip = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core.load_weights(flip ? a : b));
+    flip = !flip;
+  }
+}
+BENCHMARK(bm_tensor_core_weight_reload);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Image convolution on the photonic tensor core: Sobel edge detection over a
+// synthetic scene via im2col + tiled photonic matmuls, compared against the
+// float reference — the convolutional-processing use case of photonic tensor
+// cores (paper refs [30], [49]).
+#include <cmath>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/tensor_core.hpp"
+#include "nn/backend.hpp"
+#include "nn/layers.hpp"
+
+namespace {
+
+void print_ascii(const ptc::Matrix& m, const char* title) {
+  std::cout << title << "\n";
+  double max_abs = 1e-12;
+  for (double v : m.data()) max_abs = std::max(max_abs, std::fabs(v));
+  const char* shades = " .:-=+*#%@";
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    std::cout << "  ";
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      const auto level = static_cast<std::size_t>(
+          std::min(9.0, std::fabs(m(i, j)) / max_abs * 9.0));
+      std::cout << shades[level];
+    }
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace ptc;
+  using namespace ptc::nn;
+
+  // Synthetic scene: a bright box on a dark background.
+  Matrix img(12, 12, 0.05);
+  for (std::size_t i = 3; i < 9; ++i)
+    for (std::size_t j = 4; j < 10; ++j) img(i, j) = 0.9;
+  print_ascii(img, "input image (12x12)");
+
+  const Matrix sobel_x{{-1.0, 0.0, 1.0}, {-2.0, 0.0, 2.0}, {-1.0, 0.0, 1.0}};
+  const Matrix sobel_y{{-1.0, -2.0, -1.0}, {0.0, 0.0, 0.0}, {1.0, 2.0, 1.0}};
+
+  FloatBackend reference;
+  core::TensorCore core;
+  PhotonicBackendOptions options;
+  options.quantize_output = false;
+  options.differential_weights = true;
+  PhotonicBackend photonic(core, options);
+
+  const Matrix gx_ref = conv2d(reference, img, sobel_x);
+  const Matrix gx_pho = conv2d(photonic, img, sobel_x);
+  const Matrix gy_pho = conv2d(photonic, img, sobel_y);
+
+  print_ascii(gx_pho, "\nphotonic Sobel-X response");
+  print_ascii(gy_pho, "\nphotonic Sobel-Y response");
+
+  // Gradient magnitude from the photonic passes.
+  Matrix magnitude(gx_pho.rows(), gx_pho.cols());
+  for (std::size_t i = 0; i < magnitude.rows(); ++i)
+    for (std::size_t j = 0; j < magnitude.cols(); ++j)
+      magnitude(i, j) = std::hypot(gx_pho(i, j), gy_pho(i, j));
+  print_ascii(magnitude, "\nphotonic gradient magnitude (edges)");
+
+  std::cout << "\nphotonic vs float Sobel-X max deviation: "
+            << TablePrinter::num(gx_ref.max_abs_diff(gx_pho), 3)
+            << " (3-bit weight quantization)\n"
+            << "weight tiles loaded: " << photonic.tile_loads()
+            << ", total pSRAM reload time "
+            << TablePrinter::num(photonic.reload_time() * 1e9, 4) << " ns\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "adc/ideal_adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace ptc::adc {
+
+IdealAdc::IdealAdc(unsigned bits, double v_full_scale)
+    : bits_(bits), v_full_scale_(v_full_scale) {
+  expects(bits >= 1 && bits <= 16, "bits must be in [1, 16]");
+  expects(v_full_scale > 0.0, "full scale must be positive");
+}
+
+double IdealAdc::lsb() const {
+  return v_full_scale_ / static_cast<double>(1u << bits_);
+}
+
+unsigned IdealAdc::convert(double v_in) const {
+  const auto code = static_cast<long>(std::floor(v_in / lsb()));
+  return static_cast<unsigned>(
+      std::clamp<long>(code, 0, static_cast<long>(max_code())));
+}
+
+double IdealAdc::reconstruct(unsigned code) const {
+  expects(code <= max_code(), "code out of range");
+  return (static_cast<double>(code) + 0.5) * lsb();
+}
+
+}  // namespace ptc::adc

@@ -1,0 +1,30 @@
+#ifndef PTC_ADC_IDEAL_ADC_HPP
+#define PTC_ADC_IDEAL_ADC_HPP
+
+/// Ideal mid-rise quantizer used as the golden reference in tests and
+/// accuracy benches.
+namespace ptc::adc {
+
+class IdealAdc {
+ public:
+  /// bits >= 1, v_full_scale > 0.
+  IdealAdc(unsigned bits, double v_full_scale);
+
+  unsigned bits() const { return bits_; }
+  double lsb() const;
+  unsigned max_code() const { return (1u << bits_) - 1; }
+
+  /// code = clamp(floor(v / LSB), 0, 2^p - 1).
+  unsigned convert(double v_in) const;
+
+  /// Bin-centre reconstruction of a code [V].
+  double reconstruct(unsigned code) const;
+
+ private:
+  unsigned bits_;
+  double v_full_scale_;
+};
+
+}  // namespace ptc::adc
+
+#endif  // PTC_ADC_IDEAL_ADC_HPP

@@ -1,0 +1,197 @@
+#include "baseline/mzi_mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.hpp"
+#include "common/units.hpp"
+
+namespace ptc::baseline {
+
+namespace {
+using Complex = std::complex<double>;
+}
+
+double MziElement::theta() const {
+  return std::atan2(std::abs(t01), std::abs(t00));
+}
+
+MziMesh::MziMesh(std::size_t modes) : modes_(modes) {
+  expects(modes >= 2, "mesh needs at least two modes");
+  input_phases_.assign(modes, Complex{1.0, 0.0});
+}
+
+void MziMesh::program_unitary(const CMatrix& u, double tol) {
+  expects(u.rows() == modes_ && u.cols() == modes_,
+          "unitary size must match the mesh");
+  expects(is_unitary(u, tol), "matrix is not unitary");
+
+  // Left-multiply adjacent-mode Givens rotations to diagonalize:
+  //   G_K ... G_1 U = D   =>   U = G_1^d ... G_K^d D,
+  // so propagation applies D first, then the daggered rotations in reverse
+  // elimination order.
+  CMatrix work = u;
+  std::vector<MziElement> eliminations;
+  for (std::size_t col = 0; col + 1 < modes_; ++col) {
+    for (std::size_t row = modes_ - 1; row > col; --row) {
+      const Complex a = work(row - 1, col);
+      const Complex b = work(row, col);
+      const double r = std::sqrt(std::norm(a) + std::norm(b));
+      if (r < 1e-14 || std::abs(b) < 1e-14) continue;
+      // R = (1/r) [[conj(a), conj(b)], [-b, a]] zeroes the (row, col) entry.
+      const Complex r00 = std::conj(a) / r;
+      const Complex r01 = std::conj(b) / r;
+      const Complex r10 = -b / r;
+      const Complex r11 = a / r;
+      for (std::size_t c = 0; c < modes_; ++c) {
+        const Complex x = work(row - 1, c);
+        const Complex y = work(row, c);
+        work(row - 1, c) = r00 * x + r01 * y;
+        work(row, c) = r10 * x + r11 * y;
+      }
+      MziElement g;
+      g.mode = row - 1;
+      g.t00 = r00;
+      g.t01 = r01;
+      g.t10 = r10;
+      g.t11 = r11;
+      eliminations.push_back(g);
+    }
+  }
+
+  for (std::size_t k = 0; k < modes_; ++k) input_phases_[k] = work(k, k);
+
+  elements_.clear();
+  elements_.reserve(eliminations.size());
+  for (auto it = eliminations.rbegin(); it != eliminations.rend(); ++it) {
+    MziElement dagger;
+    dagger.mode = it->mode;
+    dagger.t00 = std::conj(it->t00);
+    dagger.t01 = std::conj(it->t10);
+    dagger.t10 = std::conj(it->t01);
+    dagger.t11 = std::conj(it->t11);
+    elements_.push_back(dagger);
+  }
+}
+
+CMatrix MziMesh::realized_unitary() const {
+  CMatrix u = CMatrix::identity(modes_);
+  // Columns of U are the propagation of basis vectors.
+  for (std::size_t col = 0; col < modes_; ++col) {
+    std::vector<Complex> basis(modes_, Complex{});
+    basis[col] = 1.0;
+    const auto out = propagate(basis);
+    for (std::size_t row = 0; row < modes_; ++row) u(row, col) = out[row];
+  }
+  return u;
+}
+
+std::vector<Complex> MziMesh::propagate(const std::vector<Complex>& in) const {
+  expects(in.size() == modes_, "input vector size must match the mesh");
+  const double loss_amplitude =
+      std::pow(10.0, -loss_db_per_mzi_ / 20.0);
+  std::vector<Complex> field(modes_);
+  for (std::size_t k = 0; k < modes_; ++k) field[k] = input_phases_[k] * in[k];
+  for (const auto& e : elements_) {
+    const Complex x = field[e.mode];
+    const Complex y = field[e.mode + 1];
+    field[e.mode] = loss_amplitude * (e.t00 * x + e.t01 * y);
+    field[e.mode + 1] = loss_amplitude * (e.t10 * x + e.t11 * y);
+  }
+  return field;
+}
+
+void MziMesh::set_insertion_loss_db(double db_per_mzi) {
+  expects(db_per_mzi >= 0.0, "insertion loss must be >= 0 dB");
+  loss_db_per_mzi_ = db_per_mzi;
+}
+
+MziMatrixProcessor::MziMatrixProcessor(std::size_t modes)
+    : modes_(modes), mesh_u_(modes), mesh_v_dagger_(modes) {
+  attenuations_.assign(modes, 1.0);
+}
+
+namespace {
+
+/// Builds a unitary CMatrix from (possibly rank-deficient) real orthonormal
+/// columns, completing missing directions by Gram-Schmidt on standard basis
+/// vectors.
+CMatrix unitary_from_columns(const Matrix& m) {
+  const std::size_t n = m.rows();
+  std::vector<std::vector<double>> cols;
+  auto norm_of = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (double x : v) s += x * x;
+    return std::sqrt(s);
+  };
+  for (std::size_t j = 0; j < m.cols() && cols.size() < n; ++j) {
+    std::vector<double> c(n);
+    for (std::size_t i = 0; i < n; ++i) c[i] = m(i, j);
+    if (norm_of(c) > 0.5) cols.push_back(std::move(c));
+  }
+  // Complete with standard basis vectors.
+  for (std::size_t candidate = 0; candidate < n && cols.size() < n;
+       ++candidate) {
+    std::vector<double> c(n, 0.0);
+    c[candidate] = 1.0;
+    for (const auto& existing : cols) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) dot += existing[i] * c[i];
+      for (std::size_t i = 0; i < n; ++i) c[i] -= dot * existing[i];
+    }
+    const double nrm = norm_of(c);
+    if (nrm > 1e-6) {
+      for (double& x : c) x /= nrm;
+      cols.push_back(std::move(c));
+    }
+  }
+  ensures(cols.size() == n, "failed to complete an orthonormal basis");
+  CMatrix u(n, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) u(i, j) = cols[j][i];
+  return u;
+}
+
+}  // namespace
+
+void MziMatrixProcessor::program(const Matrix& w) {
+  expects(w.rows() == modes_ && w.cols() == modes_,
+          "matrix size must match the processor");
+  const Svd decomposition = svd(w);
+
+  const double s_max =
+      *std::max_element(decomposition.s.begin(), decomposition.s.end());
+  expects(s_max > 0.0, "cannot program the zero matrix");
+  scale_ = s_max;
+  for (std::size_t k = 0; k < modes_; ++k) {
+    attenuations_[k] = decomposition.s[k] / s_max;  // passive: <= 1
+  }
+
+  mesh_u_.program_unitary(unitary_from_columns(decomposition.u));
+  mesh_v_dagger_.program_unitary(
+      unitary_from_columns(decomposition.v).dagger());
+}
+
+std::vector<double> MziMatrixProcessor::multiply(
+    const std::vector<double>& x) const {
+  expects(x.size() == modes_, "input size must match the processor");
+  std::vector<Complex> field(modes_);
+  for (std::size_t k = 0; k < modes_; ++k) field[k] = x[k];
+  field = mesh_v_dagger_.propagate(field);
+  for (std::size_t k = 0; k < modes_; ++k) field[k] *= attenuations_[k];
+  field = mesh_u_.propagate(field);
+  std::vector<double> out(modes_);
+  for (std::size_t k = 0; k < modes_; ++k) out[k] = scale_ * field[k].real();
+  return out;
+}
+
+std::size_t MziMatrixProcessor::mzi_count() const {
+  return mesh_u_.mzi_count() + mesh_v_dagger_.mzi_count() + modes_;
+}
+
+std::size_t MziMatrixProcessor::mzi_count_for(std::size_t n) {
+  // Two Reck meshes (n(n-1)/2 each) plus n attenuators.
+  return n * (n - 1) + n;
+}
+
+}  // namespace ptc::baseline

@@ -1,0 +1,98 @@
+#ifndef PTC_BASELINE_MZI_MESH_HPP
+#define PTC_BASELINE_MZI_MESH_HPP
+
+#include <complex>
+#include <vector>
+
+#include "common/linalg.hpp"
+
+/// Programmable Mach-Zehnder interferometer mesh — a functional model of the
+/// MZI-based photonic compute cores the paper compares against (Sec. I,
+/// refs [32]-[34]; Table I row [33]).
+///
+/// Any N x N unitary factors into a cascade of 2x2 unitaries acting on
+/// adjacent modes (complex Givens rotations) plus output phase shifters —
+/// the Reck/Clements result that underlies every MZI processor.  Each 2x2
+/// element is one MZI with an internal phase theta (splitting ratio) and an
+/// external phase phi.  Arbitrary (non-unitary) matrices are programmed as
+/// U * diag(s) * V^dagger via the SVD, with the diagonal realized as
+/// per-mode attenuators.
+///
+/// The model exposes the two costs that motivate the paper's MRR+pSRAM
+/// approach: the O(N^2) MZI count (device area) and the per-element
+/// reprogramming time.
+namespace ptc::baseline {
+
+/// One 2x2 element of the mesh acting on modes (mode, mode + 1).
+struct MziElement {
+  std::size_t mode = 0;        ///< lower of the two coupled modes
+  std::complex<double> t00{1.0, 0.0}, t01{0.0, 0.0};
+  std::complex<double> t10{0.0, 0.0}, t11{1.0, 0.0};
+
+  /// Internal phase setting theta (splitting angle) of the equivalent MZI.
+  double theta() const;
+};
+
+/// Unitary mesh of adjacent-mode MZIs (Reck-style triangular arrangement).
+class MziMesh {
+ public:
+  explicit MziMesh(std::size_t modes);
+
+  std::size_t modes() const { return modes_; }
+  std::size_t mzi_count() const { return elements_.size(); }
+
+  /// Programs the mesh to realize the given unitary.  Throws when `u` is not
+  /// unitary within `tol`.
+  void program_unitary(const CMatrix& u, double tol = 1e-8);
+
+  /// The unitary currently realized by the mesh (product of its elements).
+  CMatrix realized_unitary() const;
+
+  /// Propagates a complex field vector through the mesh.
+  std::vector<std::complex<double>> propagate(
+      const std::vector<std::complex<double>>& in) const;
+
+  /// Per-MZI insertion loss [dB] applied during propagation.
+  void set_insertion_loss_db(double db_per_mzi);
+  double insertion_loss_db() const { return loss_db_per_mzi_; }
+
+  const std::vector<MziElement>& elements() const { return elements_; }
+
+ private:
+  std::size_t modes_;
+  std::vector<MziElement> elements_;  ///< applied in order, input -> output
+  std::vector<std::complex<double>> input_phases_;  ///< unit-modulus, applied first
+  double loss_db_per_mzi_ = 0.0;
+};
+
+/// Full matrix processor: W = U diag(s) V^dagger programmed on two meshes
+/// and an attenuator column, computing y = W x with optical field encoding.
+class MziMatrixProcessor {
+ public:
+  explicit MziMatrixProcessor(std::size_t modes);
+
+  /// Programs an arbitrary real matrix (modes x modes).  Singular values are
+  /// normalized so the largest attenuator is lossless (optical passivity);
+  /// results are rescaled on readout.
+  void program(const Matrix& w);
+
+  /// Computes W x (real in, real out, field-amplitude encoded).
+  std::vector<double> multiply(const std::vector<double>& x) const;
+
+  std::size_t mzi_count() const;
+
+  /// Device count comparison hook: MZIs needed for N x N vs the paper's
+  /// MRR count (N rings per WDM bus).
+  static std::size_t mzi_count_for(std::size_t n);
+
+ private:
+  std::size_t modes_;
+  MziMesh mesh_u_;
+  MziMesh mesh_v_dagger_;
+  std::vector<double> attenuations_;
+  double scale_ = 1.0;
+};
+
+}  // namespace ptc::baseline
+
+#endif  // PTC_BASELINE_MZI_MESH_HPP

@@ -1,0 +1,29 @@
+#include "circuit/inverter.hpp"
+
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace ptc::circuit {
+
+Inverter::Inverter(const InverterConfig& config) : config_(config) {
+  expects(config.vdd > 0.0, "vdd must be positive");
+  expects(config.v_trip > 0.0 && config.v_trip < config.vdd,
+          "trip point must lie inside the supply window");
+  expects(config.gain > 0.0, "gain must be positive");
+  expects(config.load_capacitance > 0.0, "load capacitance must be positive");
+  expects(config.delay > 0.0, "delay must be positive");
+}
+
+double Inverter::transfer(double v_in) const {
+  // Smooth tanh VTC whose slope at v_trip equals -gain.
+  const double x =
+      2.0 * config_.gain / config_.vdd * (v_in - config_.v_trip);
+  return 0.5 * config_.vdd * (1.0 - std::tanh(x));
+}
+
+double Inverter::switching_energy() const {
+  return 0.5 * config_.load_capacitance * config_.vdd * config_.vdd * 1.2;
+}
+
+}  // namespace ptc::circuit

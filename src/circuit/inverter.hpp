@@ -1,0 +1,40 @@
+#ifndef PTC_CIRCUIT_INVERTER_HPP
+#define PTC_CIRCUIT_INVERTER_HPP
+
+/// Static CMOS inverter model: smooth voltage transfer characteristic plus
+/// CV^2 switching energy.  Used as the digital restore stage behind the eoADC
+/// thresholding blocks and in the ROM decoder's output buffers.
+namespace ptc::circuit {
+
+struct InverterConfig {
+  double vdd = 1.8;            ///< supply [V]
+  double v_trip = 0.9;         ///< switching threshold [V]
+  double gain = 20.0;          ///< small-signal gain magnitude at the trip point
+  double load_capacitance = 2e-15;  ///< output load [F]
+  double delay = 3e-12;        ///< propagation delay (first-order tau) [s]
+};
+
+class Inverter {
+ public:
+  explicit Inverter(const InverterConfig& config = {});
+
+  /// Static VTC: vdd at low input, 0 at high input, smooth transition with
+  /// the configured gain at the trip point.
+  double transfer(double v_in) const;
+
+  /// True when the input is interpreted as logic high (v_in > v_trip).
+  bool logic_in(double v_in) const { return v_in > config_.v_trip; }
+
+  /// Dynamic energy of one full output transition, C * Vdd^2 / 2 ... charging
+  /// plus the short-circuit allowance (modelled as 20% overhead) [J].
+  double switching_energy() const;
+
+  const InverterConfig& config() const { return config_; }
+
+ private:
+  InverterConfig config_;
+};
+
+}  // namespace ptc::circuit
+
+#endif  // PTC_CIRCUIT_INVERTER_HPP

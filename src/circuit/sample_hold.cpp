@@ -1,0 +1,42 @@
+#include "circuit/sample_hold.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/expects.hpp"
+
+namespace ptc::circuit {
+
+SampleHold::SampleHold(const SampleHoldConfig& config)
+    : config_(config), tracker_(config.acquisition_tau, 0.0) {
+  expects(config.hold_capacitance > 0.0, "hold capacitance must be positive");
+  expects(config.droop_rate >= 0.0, "droop rate must be >= 0");
+}
+
+double SampleHold::step(double v_in, bool track, double dt, Rng* rng) {
+  if (track) {
+    value_ = tracker_.step(v_in, dt);
+    was_tracking_ = true;
+  } else {
+    if (was_tracking_) {
+      // Falling clock edge: freeze, optionally with kT/C noise.
+      if (config_.include_ktc_noise && rng != nullptr) {
+        const double sigma = std::sqrt(constants::k_b * constants::t_ambient /
+                                       config_.hold_capacitance);
+        value_ += rng->normal(0.0, sigma);
+      }
+      was_tracking_ = false;
+    }
+    value_ -= config_.droop_rate * dt * (value_ > 0.0 ? 1.0 : -1.0);
+    tracker_.reset(value_);
+  }
+  return value_;
+}
+
+void SampleHold::reset(double v) {
+  value_ = v;
+  tracker_.reset(v);
+  was_tracking_ = true;
+}
+
+}  // namespace ptc::circuit

@@ -1,0 +1,41 @@
+#ifndef PTC_CIRCUIT_SAMPLE_HOLD_HPP
+#define PTC_CIRCUIT_SAMPLE_HOLD_HPP
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+
+/// Sample-and-hold front end for the ADCs: tracks the analog input through a
+/// finite acquisition bandwidth while the clock is high and freezes it (with
+/// optional kT/C noise) on the falling edge.
+namespace ptc::circuit {
+
+struct SampleHoldConfig {
+  double acquisition_tau = 5e-12;  ///< tracking time constant [s]
+  double hold_capacitance = 50e-15;  ///< [F], sets kT/C noise
+  double droop_rate = 1e3;         ///< hold-mode droop [V/s]
+  bool include_ktc_noise = false;  ///< add kT/C sampling noise on hold
+};
+
+class SampleHold {
+ public:
+  explicit SampleHold(const SampleHoldConfig& config = {});
+
+  /// Advances one timestep: tracks v_in while `track` is true, otherwise
+  /// holds (with droop).  Returns the output voltage.
+  double step(double v_in, bool track, double dt, Rng* rng = nullptr);
+
+  double value() const { return value_; }
+  void reset(double v);
+
+  const SampleHoldConfig& config() const { return config_; }
+
+ private:
+  SampleHoldConfig config_;
+  FirstOrderLag tracker_;
+  double value_ = 0.0;
+  bool was_tracking_ = true;
+};
+
+}  // namespace ptc::circuit
+
+#endif  // PTC_CIRCUIT_SAMPLE_HOLD_HPP

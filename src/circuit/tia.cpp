@@ -1,0 +1,44 @@
+#include "circuit/tia.hpp"
+
+#include <algorithm>
+
+#include "common/expects.hpp"
+
+namespace ptc::circuit {
+
+LinearTia::LinearTia(const LinearTiaConfig& config)
+    : config_(config), lag_(1.0 / (6.283185307179586 * config.bandwidth), 0.0) {
+  expects(config.transimpedance > 0.0, "transimpedance must be positive");
+  expects(config.bandwidth > 0.0, "bandwidth must be positive");
+  expects(config.vdd > 0.0, "vdd must be positive");
+  expects(config.power >= 0.0, "power must be >= 0");
+}
+
+double LinearTia::output(double current) const {
+  return std::clamp(config_.transimpedance * current, 0.0, config_.vdd);
+}
+
+double LinearTia::step(double current, double dt) {
+  return lag_.step(output(current), dt);
+}
+
+InverterTia::InverterTia(const InverterTiaConfig& config)
+    : config_(config), lag_(config.bandwidth_tau, config.bias_point) {
+  expects(config.vdd > 0.0, "vdd must be positive");
+  expects(config.bias_point > 0.0 && config.bias_point < config.vdd,
+          "bias point must lie inside the supply window");
+  expects(config.gain > 0.0, "gain must be positive");
+  expects(config.power >= 0.0, "power must be >= 0");
+}
+
+double InverterTia::output(double v_in) const {
+  const double v = config_.bias_point -
+                   config_.gain * (v_in - config_.bias_point);
+  return std::clamp(v, 0.0, config_.vdd);
+}
+
+double InverterTia::step(double v_in, double dt) {
+  return lag_.step(output(v_in), dt);
+}
+
+}  // namespace ptc::circuit

@@ -1,0 +1,28 @@
+#ifndef PTC_COMMON_CONSTANTS_HPP
+#define PTC_COMMON_CONSTANTS_HPP
+
+/// Physical constants used throughout the photonic tensor core models.
+/// All values are SI (CODATA 2018).
+namespace ptc::constants {
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double c0 = 299'792'458.0;
+
+/// Elementary charge [C].
+inline constexpr double q_e = 1.602176634e-19;
+
+/// Boltzmann constant [J/K].
+inline constexpr double k_b = 1.380649e-23;
+
+/// Planck constant [J*s].
+inline constexpr double h_planck = 6.62607015e-34;
+
+/// Default ambient temperature for thermal models [K].
+inline constexpr double t_ambient = 300.0;
+
+/// Thermal voltage kT/q at t_ambient [V].
+inline constexpr double v_thermal = k_b * t_ambient / q_e;
+
+}  // namespace ptc::constants
+
+#endif  // PTC_COMMON_CONSTANTS_HPP

@@ -1,0 +1,41 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/expects.hpp"
+
+namespace ptc {
+
+CsvWriter::CsvWriter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  expects(!columns_.empty(), "csv requires at least one column");
+}
+
+void CsvWriter::add_row(const std::vector<double>& row) {
+  expects(row.size() == columns_.size(), "csv row width must match column count");
+  rows_.push_back(row);
+}
+
+void CsvWriter::write(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << columns_[c];
+    os << (c + 1 < columns_.size() ? ',' : '\n');
+  }
+  os.precision(9);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      os << (c + 1 < row.size() ? ',' : '\n');
+    }
+  }
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open CSV output file: " + path);
+  write(file);
+}
+
+}  // namespace ptc

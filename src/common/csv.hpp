@@ -1,0 +1,35 @@
+#ifndef PTC_COMMON_CSV_HPP
+#define PTC_COMMON_CSV_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// CSV emission for waveform traces and sweep results, so figure data can be
+/// re-plotted outside the harness.
+namespace ptc {
+
+class CsvWriter {
+ public:
+  /// Creates a writer with the given column names.
+  explicit CsvWriter(std::vector<std::string> columns);
+
+  /// Appends a numeric row; width must match the column count.
+  void add_row(const std::vector<double>& row);
+
+  /// Writes header + rows to the stream.
+  void write(std::ostream& os) const;
+
+  /// Writes header + rows to a file.  Throws std::runtime_error on I/O error.
+  void write_file(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace ptc
+
+#endif  // PTC_COMMON_CSV_HPP

@@ -1,0 +1,35 @@
+#include "common/interp.hpp"
+
+#include <algorithm>
+
+#include "common/expects.hpp"
+
+namespace ptc {
+
+double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  expects(n >= 1, "linspace requires n >= 1");
+  if (n == 1) return {lo};
+  std::vector<double> out(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) out[i] = lo + step * static_cast<double>(i);
+  out.back() = hi;  // avoid accumulated rounding at the endpoint
+  return out;
+}
+
+double interp_table(const std::vector<double>& xs, const std::vector<double>& ys,
+                    double x) {
+  expects(xs.size() == ys.size(), "interp_table requires equal-length tables");
+  expects(xs.size() >= 2, "interp_table requires at least two points");
+  expects(std::is_sorted(xs.begin(), xs.end()), "interp_table requires sorted xs");
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto upper = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(upper - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return lerp(ys[lo], ys[hi], t);
+}
+
+}  // namespace ptc

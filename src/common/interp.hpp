@@ -1,0 +1,26 @@
+#ifndef PTC_COMMON_INTERP_HPP
+#define PTC_COMMON_INTERP_HPP
+
+#include <vector>
+
+/// Interpolation and grid helpers shared by spectral sweeps and device
+/// transfer-curve models.
+namespace ptc {
+
+/// Linear interpolation between a and b with t in [0, 1] (extrapolates
+/// outside).
+double lerp(double a, double b, double t);
+
+/// Returns n evenly spaced samples covering [lo, hi] inclusive.
+/// Requires n >= 2 (or n == 1, in which case {lo} is returned).
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Piecewise-linear table lookup.  xs must be strictly increasing and the
+/// same length as ys (length >= 2).  Values outside the range clamp to the
+/// endpoint values.
+double interp_table(const std::vector<double>& xs, const std::vector<double>& ys,
+                    double x);
+
+}  // namespace ptc
+
+#endif  // PTC_COMMON_INTERP_HPP

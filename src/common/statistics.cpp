@@ -1,0 +1,80 @@
+#include "common/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/expects.hpp"
+
+namespace ptc {
+
+double mean(const std::vector<double>& xs) {
+  expects(!xs.empty(), "mean of empty sample");
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  expects(xs.size() >= 2, "stddev requires at least two samples");
+  const double mu = mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - mu) * (x - mu);
+  return std::sqrt(sum / static_cast<double>(xs.size() - 1));
+}
+
+double min_of(const std::vector<double>& xs) {
+  expects(!xs.empty(), "min of empty sample");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(const std::vector<double>& xs) {
+  expects(!xs.empty(), "max of empty sample");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double rms(const std::vector<double>& xs) {
+  expects(!xs.empty(), "rms of empty sample");
+  double sum = 0.0;
+  for (double x : xs) sum += x * x;
+  return std::sqrt(sum / static_cast<double>(xs.size()));
+}
+
+LinearFit linear_fit(const std::vector<double>& xs, const std::vector<double>& ys) {
+  expects(xs.size() == ys.size(), "linear_fit requires equal-length samples");
+  expects(xs.size() >= 2, "linear_fit requires at least two points");
+  const double n = static_cast<double>(xs.size());
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  expects(sxx > 0.0, "linear_fit requires non-degenerate x values");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy > 0.0) {
+    fit.r_squared = (sxy * sxy) / (sxx * syy);
+  } else {
+    fit.r_squared = 1.0;  // all ys equal: the fit is exact
+  }
+  (void)n;
+  return fit;
+}
+
+std::vector<std::size_t> histogram(const std::vector<double>& xs, double lo,
+                                   double hi, std::size_t bins) {
+  expects(bins > 0, "histogram requires at least one bin");
+  expects(hi > lo, "histogram requires hi > lo");
+  std::vector<std::size_t> counts(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : xs) {
+    auto idx = static_cast<long>((x - lo) / width);
+    idx = std::clamp<long>(idx, 0, static_cast<long>(bins) - 1);
+    ++counts[static_cast<std::size_t>(idx)];
+  }
+  return counts;
+}
+
+}  // namespace ptc

@@ -1,0 +1,43 @@
+#ifndef PTC_COMMON_STATISTICS_HPP
+#define PTC_COMMON_STATISTICS_HPP
+
+#include <cstddef>
+#include <vector>
+
+/// Descriptive statistics and least-squares fitting, used by the Fig. 7
+/// linearity analysis, ADC DNL/INL extraction and the Monte-Carlo benches.
+namespace ptc {
+
+/// Arithmetic mean.  Requires a non-empty sample.
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator).  Requires size >= 2.
+double stddev(const std::vector<double>& xs);
+
+/// Minimum element.  Requires a non-empty sample.
+double min_of(const std::vector<double>& xs);
+
+/// Maximum element.  Requires a non-empty sample.
+double max_of(const std::vector<double>& xs);
+
+/// Root-mean-square of a sample.  Requires a non-empty sample.
+double rms(const std::vector<double>& xs);
+
+/// Least-squares straight-line fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< coefficient of determination in [0, 1]
+};
+
+/// Fits a line through (xs, ys); both vectors must have equal length >= 2.
+LinearFit linear_fit(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; out-of-range
+/// samples clamp into the first/last bucket.
+std::vector<std::size_t> histogram(const std::vector<double>& xs, double lo,
+                                   double hi, std::size_t bins);
+
+}  // namespace ptc
+
+#endif  // PTC_COMMON_STATISTICS_HPP

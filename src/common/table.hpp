@@ -1,0 +1,33 @@
+#ifndef PTC_COMMON_TABLE_HPP
+#define PTC_COMMON_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// Fixed-column console table used by the bench binaries to print the same
+/// rows/series the paper's tables and figures report.
+namespace ptc {
+
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 3);
+
+  /// Renders the table with aligned columns and a header rule.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ptc
+
+#endif  // PTC_COMMON_TABLE_HPP

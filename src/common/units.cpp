@@ -1,0 +1,71 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+#include "common/constants.hpp"
+#include "common/expects.hpp"
+
+namespace ptc::units {
+
+double dbm_to_watt(double dbm) { return 1e-3 * std::pow(10.0, dbm / 10.0); }
+
+double watt_to_dbm(double watt) {
+  expects(watt > 0.0, "watt_to_dbm requires positive power");
+  return 10.0 * std::log10(watt / 1e-3);
+}
+
+double ratio_to_db(double ratio) {
+  expects(ratio > 0.0, "ratio_to_db requires positive ratio");
+  return 10.0 * std::log10(ratio);
+}
+
+double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
+
+double wavelength_to_frequency(double wavelength_m) {
+  expects(wavelength_m > 0.0, "wavelength must be positive");
+  return constants::c0 / wavelength_m;
+}
+
+double frequency_to_wavelength(double frequency_hz) {
+  expects(frequency_hz > 0.0, "frequency must be positive");
+  return constants::c0 / frequency_hz;
+}
+
+double photon_energy(double wavelength_m) {
+  return constants::h_planck * wavelength_to_frequency(wavelength_m);
+}
+
+std::string si_format(double value, const std::string& unit) {
+  struct Prefix {
+    double scale;
+    const char* symbol;
+  };
+  static constexpr std::array<Prefix, 11> prefixes = {{{1e12, "T"},
+                                                       {1e9, "G"},
+                                                       {1e6, "M"},
+                                                       {1e3, "k"},
+                                                       {1.0, ""},
+                                                       {1e-3, "m"},
+                                                       {1e-6, "u"},
+                                                       {1e-9, "n"},
+                                                       {1e-12, "p"},
+                                                       {1e-15, "f"},
+                                                       {1e-18, "a"}}};
+  if (value == 0.0) return "0 " + unit;
+  const double magnitude = std::fabs(value);
+  const Prefix* chosen = &prefixes.back();
+  for (const auto& p : prefixes) {
+    if (magnitude >= p.scale) {
+      chosen = &p;
+      break;
+    }
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.3g %s%s", value / chosen->scale,
+                chosen->symbol, unit.c_str());
+  return buffer;
+}
+
+}  // namespace ptc::units

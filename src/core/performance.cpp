@@ -1,0 +1,79 @@
+#include "core/performance.hpp"
+
+namespace ptc::core {
+
+PerformanceModel::PerformanceModel(const TensorCoreConfig& config)
+    : config_([&] {
+        TensorCoreConfig c = config;
+        c.psram.rows = c.rows;
+        c.psram.words_per_row = c.cols;
+        c.psram.bits_per_word = c.weight_bits;
+        return c;
+      }()),
+      adc_(config_.adc) {}
+
+double PerformanceModel::ops_per_sample() const {
+  return static_cast<double>(config_.rows) * 2.0 *
+         static_cast<double>(config_.cols);
+}
+
+double PerformanceModel::sample_rate() const { return adc_.sample_rate(); }
+
+double PerformanceModel::throughput_ops() const {
+  return ops_per_sample() * sample_rate();
+}
+
+double PerformanceModel::power() const {
+  double total = 0.0;
+  for (const auto& [name, watts] : power_table()) total += watts;
+  return total;
+}
+
+double PerformanceModel::tops_per_watt() const {
+  return throughput_ops() / power();
+}
+
+std::size_t PerformanceModel::bitcell_count() const {
+  return config_.rows * config_.cols * config_.weight_bits;
+}
+
+double PerformanceModel::weight_reload_time() const {
+  return static_cast<double>(config_.cols) *
+         static_cast<double>(config_.weight_bits) / config_.psram.write_rate;
+}
+
+std::vector<std::pair<std::string, double>> PerformanceModel::power_table()
+    const {
+  const auto rows = static_cast<double>(config_.rows);
+  std::vector<std::pair<std::string, double>> table;
+  table.emplace_back("eoADC (optical wall-plug)",
+                     rows * adc_.optical_wall_power());
+  table.emplace_back("eoADC (electrical)", rows * adc_.electrical_power());
+  table.emplace_back("row readout TIA [52]", rows * config_.row_tia.power);
+  table.emplace_back("input comb laser (wall-plug)",
+                     static_cast<double>(config_.cols) *
+                         config_.macro.comb_power_per_line /
+                         config_.wall_plug_efficiency);
+  table.emplace_back("pSRAM hold bias (wall-plug)",
+                     static_cast<double>(bitcell_count()) *
+                         config_.psram.hold_bias_power /
+                         config_.psram.wall_plug_efficiency);
+  table.emplace_back("weight streaming (lasers + drivers)",
+                     rows * config_.psram.write_rate *
+                         config_.weight_update_duty *
+                         config_.psram.write_energy);
+  table.emplace_back("digital control + clocks", config_.control_power);
+  return table;
+}
+
+PerformanceReport PerformanceModel::report() const {
+  PerformanceReport r;
+  r.name = "This Work";
+  r.throughput_tops = throughput_ops() / 1e12;
+  r.efficiency_tops_w = tops_per_watt() / 1e12;
+  r.weight_update_hz = config_.psram.write_rate;
+  r.update_note = "differential optical write, 50 ps pulse";
+  return r;
+}
+
+}  // namespace ptc::core

@@ -1,0 +1,64 @@
+#ifndef PTC_CORE_PERFORMANCE_HPP
+#define PTC_CORE_PERFORMANCE_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/tensor_core.hpp"
+
+/// Closed-form performance roll-up of Sec. IV-D, kept separate from the
+/// simulating TensorCore so benches can sweep architectural parameters
+/// (rows, precision, ADC rate) without instantiating photonics.
+namespace ptc::core {
+
+/// One row of the Table I comparison (and of the Sec. IV-D analysis).
+struct PerformanceReport {
+  std::string name;
+  double throughput_tops = 0.0;     ///< tera-operations per second
+  double efficiency_tops_w = 0.0;   ///< TOPS per watt (0 = not reported)
+  double weight_update_hz = 0.0;    ///< weight refresh rate
+  std::string update_note;          ///< provenance of the update-rate figure
+};
+
+/// Evaluates the paper's metrics for a given tensor-core configuration.
+class PerformanceModel {
+ public:
+  explicit PerformanceModel(const TensorCoreConfig& config = {});
+
+  /// Operations per ADC sample (rows * 2 * cols).
+  double ops_per_sample() const;
+
+  /// ADC-limited sample rate [Hz].
+  double sample_rate() const;
+
+  /// Peak throughput [op/s]; 4.096e12 for the default 16x16 core.
+  double throughput_ops() const;
+
+  /// Total power [W]; ~1.356 W for the default configuration.
+  double power() const;
+
+  /// TOPS per watt; ~3.02 for the default configuration.
+  double tops_per_watt() const;
+
+  /// Number of pSRAM bitcells (768 for 16x16x3b).
+  std::size_t bitcell_count() const;
+
+  /// Latency to reload the full weight array [s].
+  double weight_reload_time() const;
+
+  /// Per-component power table (category, watts).
+  std::vector<std::pair<std::string, double>> power_table() const;
+
+  /// The "This Work" row of Table I.
+  PerformanceReport report() const;
+
+  const TensorCoreConfig& config() const { return config_; }
+
+ private:
+  TensorCoreConfig config_;
+  EoAdc adc_;  ///< reference ADC instance for rate/power queries
+};
+
+}  // namespace ptc::core
+
+#endif  // PTC_CORE_PERFORMANCE_HPP

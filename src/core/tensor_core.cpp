@@ -1,0 +1,211 @@
+#include "core/tensor_core.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace ptc::core {
+
+TensorCore::TensorCore(const TensorCoreConfig& config)
+    : config_([&] {
+        TensorCoreConfig c = config;
+        // The pSRAM geometry always mirrors the compute geometry.
+        c.psram.rows = c.rows;
+        c.psram.words_per_row = c.cols;
+        c.psram.bits_per_word = c.weight_bits;
+        c.macro.weight_bits = c.weight_bits;
+        return c;
+      }()),
+      psram_(config_.psram),
+      row_tia_(config_.row_tia) {
+  expects(config_.rows >= 1, "core needs at least one row");
+  expects(config_.cols >= 1, "core needs at least one column");
+  expects(config_.cols % config_.macro.channels == 0,
+          "cols must be a multiple of the macro channel count");
+
+  macros_.resize(config_.rows);
+  const std::size_t tiles = macros_per_row();
+  for (std::size_t row = 0; row < config_.rows; ++row) {
+    macros_[row].reserve(tiles);
+    for (std::size_t tile = 0; tile < tiles; ++tile) {
+      macros_[row].emplace_back(config_.macro);
+    }
+  }
+  adcs_.reserve(config_.rows);
+  for (std::size_t row = 0; row < config_.rows; ++row) {
+    adcs_.emplace_back(config_.adc);
+  }
+
+  // Full-scale row current: all inputs 1, all weights max across every tile.
+  VectorComputeMacro probe(config_.macro);
+  probe.load_weights(
+      std::vector<std::uint32_t>(config_.macro.channels, probe.max_weight()));
+  const auto fs =
+      probe.multiply(std::vector<double>(config_.macro.channels, 1.0));
+  full_scale_row_current_ = fs.photocurrent * static_cast<double>(tiles);
+  ensures(full_scale_row_current_ > 0.0, "row full-scale calibration failed");
+
+  const auto power_parts = breakdown();
+  ledger_.add_static_power("adc", power_parts.adc);
+  ledger_.add_static_power("row_tia", power_parts.row_tia);
+  ledger_.add_static_power("comb_laser", power_parts.comb_laser);
+  ledger_.add_static_power("psram_hold", power_parts.psram_hold);
+  ledger_.add_static_power("weight_update", power_parts.weight_update);
+  ledger_.add_static_power("control", power_parts.control);
+}
+
+std::size_t TensorCore::macros_per_row() const {
+  return config_.cols / config_.macro.channels;
+}
+
+double TensorCore::load_weights(
+    const std::vector<std::vector<std::uint32_t>>& weights) {
+  expects(weights.size() == config_.rows, "weight matrix row count mismatch");
+  std::vector<std::uint32_t> flat;
+  flat.reserve(config_.rows * config_.cols);
+  for (const auto& row : weights) {
+    expects(row.size() == config_.cols, "weight matrix column count mismatch");
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  const double latency = psram_.write_matrix(flat);
+
+  // The stored bits drive the multiply rings tile by tile.
+  const std::size_t m = config_.macro.channels;
+  for (std::size_t row = 0; row < config_.rows; ++row) {
+    for (std::size_t tile = 0; tile < macros_per_row(); ++tile) {
+      std::vector<std::uint32_t> tile_weights(m);
+      for (std::size_t ch = 0; ch < m; ++ch) {
+        tile_weights[ch] = psram_.word(row, tile * m + ch);
+      }
+      macros_[row][tile].load_weights(tile_weights);
+    }
+  }
+  return latency;
+}
+
+double TensorCore::load_weights_normalized(const Matrix& weights) {
+  expects(weights.rows() == config_.rows && weights.cols() == config_.cols,
+          "weight matrix shape mismatch");
+  const double scale = static_cast<double>(max_weight());
+  std::vector<std::vector<std::uint32_t>> quantized(
+      config_.rows, std::vector<std::uint32_t>(config_.cols));
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    for (std::size_t c = 0; c < config_.cols; ++c) {
+      const double w = weights(r, c);
+      expects(w >= 0.0 && w <= 1.0, "normalized weights must be in [0, 1]");
+      quantized[r][c] = static_cast<std::uint32_t>(std::lround(w * scale));
+    }
+  }
+  return load_weights(quantized);
+}
+
+std::vector<double> TensorCore::multiply_analog(
+    const std::vector<double>& input) {
+  expects(input.size() == config_.cols, "input length must equal cols");
+  const std::size_t m = config_.macro.channels;
+  std::vector<double> row_values(config_.rows, 0.0);
+  for (std::size_t row = 0; row < config_.rows; ++row) {
+    double current = 0.0;
+    for (std::size_t tile = 0; tile < macros_per_row(); ++tile) {
+      const std::vector<double> tile_input(input.begin() + tile * m,
+                                           input.begin() + (tile + 1) * m);
+      current += macros_[row][tile].multiply(tile_input).photocurrent;
+    }
+    row_values[row] = current / full_scale_row_current_;
+  }
+  return row_values;
+}
+
+std::vector<unsigned> TensorCore::multiply(const std::vector<double>& input) {
+  const std::vector<double> analog = multiply_analog(input);
+  std::vector<unsigned> codes(config_.rows, 0);
+  for (std::size_t row = 0; row < config_.rows; ++row) {
+    // Row TIA maps the full-scale current range onto the ADC input range,
+    // scaled by the programmable readout gain.
+    const double v_adc =
+        analog[row] * readout_gain_ * config_.adc.v_full_scale;
+    codes[row] = adcs_[row].code(v_adc);
+  }
+  ++samples_;
+  // One ADC sample window of static power is burned per multiply.
+  ledger_.accrue_static(1.0 / adcs_.front().sample_rate());
+  return codes;
+}
+
+Matrix TensorCore::multiply_batch(const Matrix& inputs) {
+  expects(inputs.cols() == config_.cols, "input width must equal cols");
+  Matrix out(inputs.rows(), config_.rows);
+  const double scale = static_cast<double>(adcs_.front().max_code());
+  for (std::size_t s = 0; s < inputs.rows(); ++s) {
+    std::vector<double> input(config_.cols);
+    for (std::size_t c = 0; c < config_.cols; ++c) input[c] = inputs(s, c);
+    const auto codes = multiply(input);
+    for (std::size_t r = 0; r < config_.rows; ++r) {
+      out(s, r) = static_cast<double>(codes[r]) / scale;
+    }
+  }
+  return out;
+}
+
+std::vector<double> TensorCore::reference(
+    const std::vector<double>& input) const {
+  expects(input.size() == config_.cols, "input length must equal cols");
+  std::vector<double> out(config_.rows, 0.0);
+  const double denom = static_cast<double>(config_.cols) *
+                       static_cast<double>(max_weight());
+  for (std::size_t row = 0; row < config_.rows; ++row) {
+    double acc = 0.0;
+    for (std::size_t col = 0; col < config_.cols; ++col) {
+      acc += input[col] * static_cast<double>(psram_.word(row, col));
+    }
+    out[row] = acc / denom;
+  }
+  return out;
+}
+
+double TensorCore::ops_per_sample() const {
+  // rows dot products of length cols: cols multiplies + cols additions each.
+  return static_cast<double>(config_.rows) * 2.0 *
+         static_cast<double>(config_.cols);
+}
+
+double TensorCore::throughput_ops() const {
+  return ops_per_sample() * adcs_.front().sample_rate();
+}
+
+TensorCore::PowerBreakdown TensorCore::breakdown() const {
+  PowerBreakdown b;
+  const auto rows = static_cast<double>(config_.rows);
+  b.adc = rows * adcs_.front().total_power();
+  b.row_tia = rows * config_.row_tia.power;
+  // Comb lines are broadcast across rows: one line per column channel.
+  b.comb_laser = static_cast<double>(config_.cols) *
+                 config_.macro.comb_power_per_line /
+                 config_.wall_plug_efficiency;
+  b.psram_hold = psram_.hold_wall_power();
+  // Weight streaming: all rows write in parallel, one cell per slot each.
+  const double write_events_per_second =
+      rows * config_.psram.write_rate * config_.weight_update_duty;
+  b.weight_update = write_events_per_second * config_.psram.write_energy;
+  b.control = config_.control_power;
+  return b;
+}
+
+double TensorCore::power() const { return breakdown().total(); }
+
+double TensorCore::tops_per_watt() const {
+  return throughput_ops() / power();
+}
+
+void TensorCore::set_readout_gain(double gain) {
+  expects(gain > 0.0, "readout gain must be positive");
+  readout_gain_ = gain;
+}
+
+EoAdc& TensorCore::adc(std::size_t row) {
+  expects(row < adcs_.size(), "row index out of range");
+  return adcs_[row];
+}
+
+}  // namespace ptc::core

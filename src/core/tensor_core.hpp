@@ -1,0 +1,138 @@
+#ifndef PTC_CORE_TENSOR_CORE_HPP
+#define PTC_CORE_TENSOR_CORE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "circuit/energy.hpp"
+#include "circuit/tia.hpp"
+#include "common/linalg.hpp"
+#include "core/eoadc.hpp"
+#include "core/psram_array.hpp"
+#include "core/vector_macro.hpp"
+
+/// Mixed-signal multi-bit scalable 2D photonic tensor core — paper Fig. 4 /
+/// Sec. III & IV-D.
+///
+/// The core tiles the 1x4 WDM vector-multiply macro: each of the `rows`
+/// output rows holds cols/4 macros whose photocurrents sum on the row's
+/// readout node, pass through a high-bandwidth TIA (ref. [52]) and are
+/// digitized by that row's eoADC.  Input vectors are broadcast to all rows;
+/// weights live in the embedded pSRAM array (16 x 16 x 3 bits = 768 bitcells
+/// in the paper's configuration) and update at 20 GHz.
+///
+/// Ops accounting follows the paper: one ADC sample completes `rows` dot
+/// products of length `cols`, i.e. rows * (cols multiplies + cols adds)
+/// operations; at 8 GS/s (ADC-limited) the 16x16 core reaches
+/// 16 * 32 * 8e9 = 4.10 TOPS.
+namespace ptc::core {
+
+struct TensorCoreConfig {
+  std::size_t rows = 16;
+  std::size_t cols = 16;
+  unsigned weight_bits = 3;
+  VectorMacroConfig macro{};
+  EoAdcConfig adc{};
+  PsramArrayConfig psram{};  ///< geometry fields are overridden to match
+  circuit::LinearTiaConfig row_tia{};  ///< 42 GHz-class readout TIA [52]
+  /// Average fraction of write bandwidth in use (weight streaming duty).
+  double weight_update_duty = 0.66;
+  /// Digital control + clock distribution power [W].
+  double control_power = 160e-3;
+  double wall_plug_efficiency = tech_wall_plug;
+};
+
+class TensorCore {
+ public:
+  explicit TensorCore(const TensorCoreConfig& config = {});
+
+  std::size_t rows() const { return config_.rows; }
+  std::size_t cols() const { return config_.cols; }
+  unsigned weight_bits() const { return config_.weight_bits; }
+  std::uint32_t max_weight() const { return (1u << config_.weight_bits) - 1; }
+  std::size_t bitcell_count() const { return psram_.bitcell_count(); }
+  std::size_t macros_per_row() const;
+
+  /// Loads an integer weight matrix (rows x cols, entries in [0, 2^n - 1])
+  /// into the pSRAM array and programs the multiply rings.
+  /// Returns the reload latency [s].
+  double load_weights(const std::vector<std::vector<std::uint32_t>>& weights);
+
+  /// Convenience: quantizes a real-valued weight matrix in [0, 1] to n bits
+  /// and loads it.
+  double load_weights_normalized(const Matrix& weights);
+
+  /// Multiplies the loaded weight matrix by one normalized input vector
+  /// (cols entries in [0, 1]); returns the per-row ADC output codes.
+  std::vector<unsigned> multiply(const std::vector<double>& input);
+
+  /// Programmable readout (row-TIA) gain applied before the eoADC.  Sparse
+  /// workloads use it to occupy the full ADC range; digital consumers divide
+  /// the codes by the same gain.  Must be > 0; default 1.
+  void set_readout_gain(double gain);
+  double readout_gain() const { return readout_gain_; }
+
+  /// Analog row values before quantization (normalized to [0, 1]);
+  /// useful for accuracy analysis.
+  std::vector<double> multiply_analog(const std::vector<double>& input);
+
+  /// Batched multiply: each row of `inputs` (n_samples x cols) is one input
+  /// vector; returns n_samples x rows of ADC codes scaled to [0, 1].
+  Matrix multiply_batch(const Matrix& inputs);
+
+  /// Digital reference: exact dot products of the *stored* integer weights
+  /// with the inputs, normalized like the analog path.
+  std::vector<double> reference(const std::vector<double>& input) const;
+
+  // --- performance (Sec. IV-D) ----------------------------------------------
+  /// Operations per ADC sample: rows * 2 * cols.
+  double ops_per_sample() const;
+  /// Peak computational throughput [op/s] (paper: 4.10 TOPS).
+  double throughput_ops() const;
+  /// Total power [W]; see breakdown().
+  double power() const;
+  /// throughput / power [op/s/W] (paper: 3.02 TOPS/W).
+  double tops_per_watt() const;
+  /// Weight update rate [Hz] (paper: 20 GHz).
+  double weight_update_rate() const { return config_.psram.write_rate; }
+
+  struct PowerBreakdown {
+    double adc = 0.0;        ///< 16 eoADCs (optical + electrical)
+    double row_tia = 0.0;    ///< readout TIAs
+    double comb_laser = 0.0; ///< input comb lines (wall plug)
+    double psram_hold = 0.0; ///< bitcell bias lasers (wall plug)
+    double weight_update = 0.0;  ///< write lasers + drivers at duty
+    double control = 0.0;    ///< digital control + clocks
+    double total() const {
+      return adc + row_tia + comb_laser + psram_hold + weight_update + control;
+    }
+  };
+  PowerBreakdown breakdown() const;
+
+  /// Cumulative energy ledger for the operations performed so far.
+  const circuit::EnergyLedger& ledger() const { return ledger_; }
+
+  /// Number of multiply() calls performed.
+  std::size_t samples_processed() const { return samples_; }
+
+  const TensorCoreConfig& config() const { return config_; }
+  const PsramArray& psram() const { return psram_; }
+  EoAdc& adc(std::size_t row);
+
+ private:
+  TensorCoreConfig config_;
+  PsramArray psram_;
+  /// macros_[row][tile]: each macro covers channels_per_macro columns.
+  std::vector<std::vector<VectorComputeMacro>> macros_;
+  std::vector<EoAdc> adcs_;
+  circuit::LinearTia row_tia_;
+  double full_scale_row_current_ = 0.0;
+  double readout_gain_ = 1.0;
+  circuit::EnergyLedger ledger_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace ptc::core
+
+#endif  // PTC_CORE_TENSOR_CORE_HPP

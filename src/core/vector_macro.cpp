@@ -1,0 +1,130 @@
+#include "core/vector_macro.hpp"
+
+#include <cmath>
+
+#include "common/expects.hpp"
+#include "common/units.hpp"
+
+namespace ptc::core {
+
+VectorComputeMacro::VectorComputeMacro(const VectorMacroConfig& config)
+    : config_(config),
+      encoder_(config.encoder_insertion_loss_db, config.encoder_extinction_db),
+      photodiode_(config.photodiode) {
+  expects(config.channels >= 1 && config.channels <= tech_wdm_channels * 2,
+          "channel count exceeds the usable FSR window");
+  expects(config.weight_bits >= 1 && config.weight_bits <= 8,
+          "weight precision must be in [1, 8] bits");
+  expects(config.comb_power_per_line > 0.0, "comb power must be positive");
+
+  rings_.resize(config.weight_bits);
+  for (unsigned row = 0; row < config.weight_bits; ++row) {
+    rings_[row].reserve(config.channels);
+    for (std::size_t ch = 0; ch < config.channels; ++ch) {
+      // Multiply rings sit on resonance at 0 V (weight bit 0 strips the
+      // channel) and shift off resonance at VDD (bit 1 passes it).
+      rings_[row].emplace_back(compute_ring_config(ch, /*pin_bias=*/0.0));
+    }
+  }
+  weights_.assign(config.channels, 0);
+
+  // Calibrate the full-scale photocurrent: all inputs at 1, all weights max.
+  load_weights(std::vector<std::uint32_t>(config.channels, max_weight()));
+  full_scale_current_ =
+      compute_current(std::vector<double>(config.channels, 1.0), nullptr);
+  ensures(full_scale_current_ > 0.0, "full-scale calibration failed");
+  load_weights(std::vector<std::uint32_t>(config.channels, 0));
+}
+
+void VectorComputeMacro::load_weights(const std::vector<std::uint32_t>& weights) {
+  expects(weights.size() == config_.channels,
+          "need exactly one weight per channel");
+  for (std::uint32_t w : weights) {
+    expects(w <= max_weight(), "weight exceeds the configured precision");
+  }
+  weights_ = weights;
+  for (unsigned row = 0; row < config_.weight_bits; ++row) {
+    // Bit row 0 is the MSB (significance 2^(n-1)).
+    const unsigned bit_index = config_.weight_bits - 1 - row;
+    for (std::size_t ch = 0; ch < config_.channels; ++ch) {
+      const bool bit = (weights[ch] >> bit_index) & 1u;
+      rings_[row][ch].set_bias(bit ? tech_vdd : 0.0);
+    }
+  }
+}
+
+double VectorComputeMacro::chain_transmission(std::size_t bit_row,
+                                              std::size_t channel) const {
+  expects(bit_row < rings_.size(), "bit row out of range");
+  expects(channel < config_.channels, "channel out of range");
+  const double lambda = channel_wavelength(channel);
+  double transmission = 1.0;
+  for (const auto& ring : rings_[bit_row]) {
+    transmission *= ring.thru_transmission(lambda);
+  }
+  return transmission;
+}
+
+double VectorComputeMacro::compute_current(const std::vector<double>& inputs,
+                                           std::vector<double>* per_bit) const {
+  expects(inputs.size() == config_.channels,
+          "need exactly one input per channel");
+
+  // Comb + encoders produce the WDM input bundle.
+  std::vector<double> wavelengths(config_.channels);
+  for (std::size_t ch = 0; ch < config_.channels; ++ch) {
+    wavelengths[ch] = channel_wavelength(ch);
+  }
+  optics::FrequencyComb comb(optics::WavelengthGrid(wavelengths),
+                             config_.comb_power_per_line,
+                             config_.wall_plug_efficiency);
+  const optics::WdmSignal encoded = encoder_.encode(comb.emit(), inputs);
+
+  // Binary-weighted splitter cascade: tap k carries IN / 2^(k+1).
+  const optics::BinaryWeightedTaps taps(config_.weight_bits,
+                                        config_.splitter_excess_db);
+  const std::vector<optics::WdmSignal> bit_inputs = taps.split(encoded);
+
+  if (per_bit != nullptr) per_bit->assign(config_.weight_bits, 0.0);
+  double total_power_on_pds = 0.0;
+  for (unsigned row = 0; row < config_.weight_bits; ++row) {
+    double row_power = 0.0;
+    for (std::size_t ch = 0; ch < config_.channels; ++ch) {
+      // Channel ch passes through every ring of the row — this is where
+      // inter-channel crosstalk enters.
+      row_power +=
+          bit_inputs[row].channel(ch).power * chain_transmission(row, ch);
+    }
+    if (per_bit != nullptr)
+      (*per_bit)[row] = photodiode_.config().responsivity * row_power;
+    total_power_on_pds += row_power;
+  }
+  return photodiode_.config().responsivity * total_power_on_pds;
+}
+
+VectorComputeMacro::Result VectorComputeMacro::multiply(
+    const std::vector<double>& inputs) const {
+  Result result;
+  result.photocurrent = compute_current(inputs, &result.per_bit_current);
+  result.normalized = result.photocurrent / full_scale_current_;
+  return result;
+}
+
+double VectorComputeMacro::ideal_normalized(
+    const std::vector<double>& inputs) const {
+  expects(inputs.size() == config_.channels,
+          "need exactly one input per channel");
+  double acc = 0.0;
+  for (std::size_t ch = 0; ch < config_.channels; ++ch) {
+    acc += inputs[ch] * static_cast<double>(weights_[ch]);
+  }
+  return acc / (static_cast<double>(config_.channels) *
+                static_cast<double>(max_weight()));
+}
+
+double VectorComputeMacro::comb_wall_power() const {
+  return config_.comb_power_per_line * static_cast<double>(config_.channels) /
+         config_.wall_plug_efficiency;
+}
+
+}  // namespace ptc::core

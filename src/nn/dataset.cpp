@@ -1,0 +1,80 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+
+#include "common/expects.hpp"
+
+namespace ptc::nn {
+
+namespace {
+
+// 8x8 bitmap glyphs for digits 0..9 ('#' = 1, '.' = 0).
+constexpr std::array<std::array<std::string_view, 8>, 10> glyph_art = {{
+    {{"..####..", ".#....#.", "#......#", "#......#", "#......#", "#......#",
+      ".#....#.", "..####.."}},
+    {{"...##...", "..###...", ".#.#....", "...#....", "...#....", "...#....",
+      "...#....", ".######."}},
+    {{".#####..", "#.....#.", "......#.", ".....#..", "...##...", "..#.....",
+      ".#......", "#######."}},
+    {{".#####..", "......#.", "......#.", "..####..", "......#.", "......#.",
+      "#.....#.", ".#####.."}},
+    {{"....##..", "...#.#..", "..#..#..", ".#...#..", "#....#..", "#######.",
+      ".....#..", ".....#.."}},
+    {{"#######.", "#.......", "#.......", "######..", "......#.", "......#.",
+      "#.....#.", ".#####.."}},
+    {{"..####..", ".#......", "#.......", "######..", "#.....#.", "#.....#.",
+      ".#....#.", "..####.."}},
+    {{"#######.", "......#.", ".....#..", "....#...", "...#....", "..#.....",
+      ".#......", "#......."}},
+    {{".#####..", "#.....#.", "#.....#.", ".#####..", "#.....#.", "#.....#.",
+      "#.....#.", ".#####.."}},
+    {{".#####..", "#.....#.", "#.....#.", ".######.", "......#.", ".....#..",
+      "....#...", ".###...."}},
+}};
+
+}  // namespace
+
+Matrix glyph(std::size_t digit) {
+  expects(digit < glyph_classes, "digit class out of range");
+  Matrix g(glyph_side, glyph_side);
+  for (std::size_t r = 0; r < glyph_side; ++r) {
+    for (std::size_t c = 0; c < glyph_side; ++c) {
+      g(r, c) = glyph_art[digit][r][c] == '#' ? 1.0 : 0.0;
+    }
+  }
+  return g;
+}
+
+Dataset make_dataset(std::size_t n, Rng& rng, double noise) {
+  expects(n >= 1, "dataset must be non-empty");
+  expects(noise >= 0.0 && noise <= 1.0, "noise amplitude must be in [0, 1]");
+
+  Dataset data;
+  data.inputs = Matrix(n, glyph_pixels);
+  data.labels.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto digit = static_cast<std::size_t>(rng.below(glyph_classes));
+    data.labels[s] = digit;
+    const Matrix g = glyph(digit);
+    // +-1 pixel circular shift in each axis.
+    const int dr = static_cast<int>(rng.below(3)) - 1;
+    const int dc = static_cast<int>(rng.below(3)) - 1;
+    for (std::size_t r = 0; r < glyph_side; ++r) {
+      for (std::size_t c = 0; c < glyph_side; ++c) {
+        const std::size_t src_r =
+            (r + glyph_side - static_cast<std::size_t>((dr + 8) % 8)) %
+            glyph_side;
+        const std::size_t src_c =
+            (c + glyph_side - static_cast<std::size_t>((dc + 8) % 8)) %
+            glyph_side;
+        double v = g(src_r, src_c) + rng.uniform(-noise, noise);
+        data.inputs(s, r * glyph_side + c) = std::clamp(v, 0.0, 1.0);
+      }
+    }
+  }
+  return data;
+}
+
+}  // namespace ptc::nn

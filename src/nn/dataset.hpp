@@ -1,0 +1,37 @@
+#ifndef PTC_NN_DATASET_HPP
+#define PTC_NN_DATASET_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/linalg.hpp"
+#include "common/rng.hpp"
+
+/// Synthetic 8x8 glyph dataset — an offline stand-in for the MNIST-class
+/// digit workloads photonic accelerator papers evaluate on.  Ten canonical
+/// digit glyphs are perturbed with pixel noise and +-1 pixel shifts, giving
+/// a task that is easy in float and measurably sensitive to the 3-bit
+/// weight / 3-bit ADC quantization of the photonic path.
+namespace ptc::nn {
+
+struct Dataset {
+  Matrix inputs;                      ///< n_samples x 64, values in [0, 1]
+  std::vector<std::size_t> labels;    ///< n_samples, values 0..9
+
+  std::size_t size() const { return labels.size(); }
+};
+
+inline constexpr std::size_t glyph_side = 8;
+inline constexpr std::size_t glyph_pixels = glyph_side * glyph_side;
+inline constexpr std::size_t glyph_classes = 10;
+
+/// The canonical (noise-free) glyph for a digit class, as an 8x8 matrix.
+Matrix glyph(std::size_t digit);
+
+/// Generates `n` samples: random class, +-1 pixel circular shift, additive
+/// uniform pixel noise of amplitude `noise` (clamped to [0, 1]).
+Dataset make_dataset(std::size_t n, Rng& rng, double noise = 0.15);
+
+}  // namespace ptc::nn
+
+#endif  // PTC_NN_DATASET_HPP

@@ -1,0 +1,90 @@
+#include "nn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace ptc::nn {
+
+DenseLayer::DenseLayer(std::size_t in, std::size_t out)
+    : w(in, out), b(out, 0.0) {}
+
+Matrix DenseLayer::forward(MatmulBackend& backend, const Matrix& x) const {
+  expects(x.cols() == w.rows(), "dense layer input width mismatch");
+  Matrix y = backend.matmul(x, w);
+  for (std::size_t s = 0; s < y.rows(); ++s)
+    for (std::size_t j = 0; j < y.cols(); ++j) y(s, j) += b[j];
+  return y;
+}
+
+Matrix relu(Matrix x) {
+  for (double& v : x.data()) v = std::max(0.0, v);
+  return x;
+}
+
+Matrix softmax(const Matrix& logits) {
+  Matrix out = logits;
+  for (std::size_t s = 0; s < out.rows(); ++s) {
+    double row_max = out(s, 0);
+    for (std::size_t j = 1; j < out.cols(); ++j)
+      row_max = std::max(row_max, out(s, j));
+    double sum = 0.0;
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      out(s, j) = std::exp(out(s, j) - row_max);
+      sum += out(s, j);
+    }
+    for (std::size_t j = 0; j < out.cols(); ++j) out(s, j) /= sum;
+  }
+  return out;
+}
+
+std::vector<std::size_t> argmax_rows(const Matrix& m) {
+  expects(m.cols() >= 1, "argmax of empty rows");
+  std::vector<std::size_t> out(m.rows(), 0);
+  for (std::size_t s = 0; s < m.rows(); ++s) {
+    for (std::size_t j = 1; j < m.cols(); ++j) {
+      if (m(s, j) > m(s, out[s])) out[s] = j;
+    }
+  }
+  return out;
+}
+
+Matrix im2col(const Matrix& image, std::size_t kernel) {
+  expects(kernel >= 1 && kernel <= image.rows() && kernel <= image.cols(),
+          "kernel larger than the image");
+  const std::size_t out_h = image.rows() - kernel + 1;
+  const std::size_t out_w = image.cols() - kernel + 1;
+  Matrix patches(out_h * out_w, kernel * kernel);
+  for (std::size_t i = 0; i < out_h; ++i) {
+    for (std::size_t j = 0; j < out_w; ++j) {
+      std::size_t col = 0;
+      for (std::size_t di = 0; di < kernel; ++di)
+        for (std::size_t dj = 0; dj < kernel; ++dj)
+          patches(i * out_w + j, col++) = image(i + di, j + dj);
+    }
+  }
+  return patches;
+}
+
+Matrix conv2d(MatmulBackend& backend, const Matrix& image,
+              const Matrix& kernel) {
+  expects(kernel.rows() == kernel.cols(), "kernel must be square");
+  const std::size_t k = kernel.rows();
+  const std::size_t out_h = image.rows() - k + 1;
+  const std::size_t out_w = image.cols() - k + 1;
+
+  const Matrix patches = im2col(image, k);
+  Matrix kernel_col(k * k, 1);
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < k; ++j) kernel_col(idx++, 0) = kernel(i, j);
+
+  const Matrix flat = backend.matmul(patches, kernel_col);
+  Matrix out(out_h, out_w);
+  for (std::size_t i = 0; i < out_h; ++i)
+    for (std::size_t j = 0; j < out_w; ++j) out(i, j) = flat(i * out_w + j, 0);
+  return out;
+}
+
+}  // namespace ptc::nn

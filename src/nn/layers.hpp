@@ -1,0 +1,44 @@
+#ifndef PTC_NN_LAYERS_HPP
+#define PTC_NN_LAYERS_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/linalg.hpp"
+#include "nn/backend.hpp"
+
+/// Network layers executing through a MatmulBackend, so the same model runs
+/// on the float reference or the photonic tensor core.
+namespace ptc::nn {
+
+/// Fully connected layer y = x W + b.
+struct DenseLayer {
+  Matrix w;                ///< in x out
+  std::vector<double> b;   ///< out
+
+  DenseLayer(std::size_t in, std::size_t out);
+
+  /// Forward pass through the given backend.
+  Matrix forward(MatmulBackend& backend, const Matrix& x) const;
+};
+
+/// Element-wise ReLU.
+Matrix relu(Matrix x);
+
+/// Row-wise softmax.
+Matrix softmax(const Matrix& logits);
+
+/// Index of the maximum element in each row.
+std::vector<std::size_t> argmax_rows(const Matrix& m);
+
+/// im2col for single-channel 2D convolution with a square kernel (valid
+/// padding): returns (out_h * out_w) x (kernel * kernel) patches.
+Matrix im2col(const Matrix& image, std::size_t kernel);
+
+/// Single-channel valid 2D convolution via im2col + backend matmul.
+Matrix conv2d(MatmulBackend& backend, const Matrix& image,
+              const Matrix& kernel);
+
+}  // namespace ptc::nn
+
+#endif  // PTC_NN_LAYERS_HPP

@@ -1,0 +1,46 @@
+#ifndef PTC_NN_MLP_HPP
+#define PTC_NN_MLP_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/dataset.hpp"
+#include "nn/layers.hpp"
+
+/// Two-layer MLP (dense -> ReLU -> dense) with a plain SGD trainer.
+/// Training runs in float; inference runs through any backend, which is how
+/// the digit-classifier example compares float vs photonic accuracy.
+namespace ptc::nn {
+
+class Mlp {
+ public:
+  /// Architecture: in -> hidden (ReLU) -> out.
+  Mlp(std::size_t in, std::size_t hidden, std::size_t out, Rng& rng);
+
+  /// Logits for a batch through the given backend.
+  Matrix forward(MatmulBackend& backend, const Matrix& x) const;
+
+  /// Predicted class per sample.
+  std::vector<std::size_t> predict(MatmulBackend& backend,
+                                   const Matrix& x) const;
+
+  /// Fraction of correct predictions on the dataset.
+  double accuracy(MatmulBackend& backend, const Dataset& data) const;
+
+  /// One epoch of minibatch SGD with cross-entropy loss (float only).
+  /// Returns the mean loss over the epoch.
+  double train_epoch(const Dataset& data, double learning_rate,
+                     std::size_t batch_size, Rng& rng);
+
+  const DenseLayer& layer1() const { return layer1_; }
+  const DenseLayer& layer2() const { return layer2_; }
+
+ private:
+  DenseLayer layer1_;
+  DenseLayer layer2_;
+};
+
+}  // namespace ptc::nn
+
+#endif  // PTC_NN_MLP_HPP

@@ -1,0 +1,61 @@
+#include "nn/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace ptc::nn {
+
+UnsignedQuantizer::UnsignedQuantizer(unsigned bits) : bits_(bits) {
+  expects(bits >= 1 && bits <= 16, "bits must be in [1, 16]");
+}
+
+std::uint32_t UnsignedQuantizer::quantize(double x) const {
+  expects(x >= -1e-9 && x <= 1.0 + 1e-9, "input must be normalized to [0, 1]");
+  const double clamped = std::clamp(x, 0.0, 1.0);
+  return static_cast<std::uint32_t>(
+      std::lround(clamped * static_cast<double>(max_code())));
+}
+
+double UnsignedQuantizer::dequantize(std::uint32_t code) const {
+  expects(code <= max_code(), "code out of range");
+  return static_cast<double>(code) / static_cast<double>(max_code());
+}
+
+double UnsignedQuantizer::max_error() const {
+  return 0.5 / static_cast<double>(max_code());
+}
+
+double SignedMapping::to_unit(double w) const {
+  return 0.5 * (w / scale + 1.0);
+}
+
+double SignedMapping::from_unit(double u) const {
+  return (2.0 * u - 1.0) * scale;
+}
+
+SignedMapping signed_mapping_for(const Matrix& w) {
+  double max_abs = 0.0;
+  for (double v : w.data()) max_abs = std::max(max_abs, std::fabs(v));
+  return SignedMapping{max_abs > 0.0 ? max_abs : 1.0};
+}
+
+Matrix to_unit_matrix(const Matrix& w, const SignedMapping& mapping) {
+  Matrix out = w;
+  for (double& v : out.data()) v = std::clamp(mapping.to_unit(v), 0.0, 1.0);
+  return out;
+}
+
+double normalize_activations(Matrix& x) {
+  double max_val = 0.0;
+  for (double v : x.data()) {
+    expects(v >= 0.0, "activations must be non-negative (intensity encoding)");
+    max_val = std::max(max_val, v);
+  }
+  const double scale = max_val > 0.0 ? max_val : 1.0;
+  for (double& v : x.data()) v /= scale;
+  return scale;
+}
+
+}  // namespace ptc::nn

@@ -1,0 +1,31 @@
+#include "optics/coupler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace ptc::optics {
+
+DirectionalCoupler::DirectionalCoupler(const CouplerConfig& config)
+    : config_(config) {
+  expects(config.kappa_sq_at_reference > 0.0 && config.kappa_sq_at_reference < 1.0,
+          "reference coupling must be in (0, 1)");
+  expects(config.reference_gap > 0.0, "reference gap must be positive");
+  expects(config.decay_length > 0.0, "decay length must be positive");
+}
+
+double DirectionalCoupler::power_coupling(double gap) const {
+  expects(gap >= 0.0, "coupler gap must be >= 0");
+  const double kappa_sq =
+      config_.kappa_sq_at_reference *
+      std::exp(-(gap - config_.reference_gap) / config_.decay_length);
+  // The exponential fit is only valid for weak coupling; clamp for tiny gaps.
+  return std::clamp(kappa_sq, 0.0, 0.95);
+}
+
+double DirectionalCoupler::self_coupling(double gap) const {
+  return std::sqrt(1.0 - power_coupling(gap));
+}
+
+}  // namespace ptc::optics

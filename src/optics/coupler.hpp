@@ -1,0 +1,35 @@
+#ifndef PTC_OPTICS_COUPLER_HPP
+#define PTC_OPTICS_COUPLER_HPP
+
+/// Evanescent directional coupler model mapping a physical coupling gap to a
+/// power coupling coefficient kappa^2.  Used to derive the microring
+/// self-coupling terms from the geometry the paper quotes (200 nm gap on the
+/// compute rings, 250 nm on the high-Q eoADC rings).
+namespace ptc::optics {
+
+struct CouplerConfig {
+  /// Power coupling at reference_gap.
+  double kappa_sq_at_reference = 0.05;
+  /// Reference gap [m] where kappa_sq_at_reference holds.
+  double reference_gap = 200e-9;
+  /// Exponential decay length of the evanescent overlap [m].
+  double decay_length = 35e-9;
+};
+
+class DirectionalCoupler {
+ public:
+  explicit DirectionalCoupler(const CouplerConfig& config = {});
+
+  /// Power coupling coefficient kappa^2 in [0, 0.95] for the given gap [m].
+  double power_coupling(double gap) const;
+
+  /// Field self-coupling t = sqrt(1 - kappa^2) for the given gap [m].
+  double self_coupling(double gap) const;
+
+ private:
+  CouplerConfig config_;
+};
+
+}  // namespace ptc::optics
+
+#endif  // PTC_OPTICS_COUPLER_HPP

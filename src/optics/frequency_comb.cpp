@@ -1,0 +1,52 @@
+#include "optics/frequency_comb.hpp"
+
+#include "common/expects.hpp"
+#include "common/units.hpp"
+
+namespace ptc::optics {
+
+FrequencyComb::FrequencyComb(WavelengthGrid grid, double power_per_line,
+                             double wall_plug_efficiency)
+    : grid_(std::move(grid)),
+      power_per_line_(power_per_line),
+      wall_plug_efficiency_(wall_plug_efficiency) {
+  expects(power_per_line >= 0.0, "comb line power must be non-negative");
+  expects(wall_plug_efficiency > 0.0 && wall_plug_efficiency <= 1.0,
+          "wall-plug efficiency must be in (0, 1]");
+}
+
+WdmSignal FrequencyComb::emit() const {
+  WdmSignal out;
+  for (double w : grid_.wavelengths()) out.add_channel(w, power_per_line_);
+  return out;
+}
+
+double FrequencyComb::wall_power() const {
+  return power_per_line_ * static_cast<double>(grid_.size()) /
+         wall_plug_efficiency_;
+}
+
+IntensityEncoder::IntensityEncoder(double insertion_loss_db, double extinction_db)
+    : insertion_loss_db_(insertion_loss_db), extinction_db_(extinction_db) {
+  expects(insertion_loss_db >= 0.0, "insertion loss must be >= 0 dB");
+  expects(extinction_db > 0.0, "extinction ratio must be > 0 dB");
+}
+
+WdmSignal IntensityEncoder::encode(const WdmSignal& comb,
+                                   const std::vector<double>& values) const {
+  expects(values.size() == comb.size(),
+          "encoder needs one value per comb line");
+  const double loss = units::db_to_ratio(-insertion_loss_db_);
+  const double floor = units::db_to_ratio(-extinction_db_);
+  WdmSignal out = comb;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    expects(values[i] >= 0.0 && values[i] <= 1.0,
+            "encoded values must be normalized to [0, 1]");
+    // Finite extinction: transmission spans [floor, 1] instead of [0, 1].
+    const double transmission = floor + (1.0 - floor) * values[i];
+    out.channel(i).power *= loss * transmission;
+  }
+  return out;
+}
+
+}  // namespace ptc::optics

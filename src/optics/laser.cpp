@@ -1,0 +1,52 @@
+#include "optics/laser.hpp"
+
+#include "common/expects.hpp"
+
+namespace ptc::optics {
+
+CwLaser::CwLaser(double wavelength, double power, double wall_plug_efficiency)
+    : wavelength_(wavelength),
+      power_(power),
+      wall_plug_efficiency_(wall_plug_efficiency) {
+  expects(wavelength > 0.0, "laser wavelength must be positive");
+  expects(power >= 0.0, "laser power must be non-negative");
+  expects(wall_plug_efficiency > 0.0 && wall_plug_efficiency <= 1.0,
+          "wall-plug efficiency must be in (0, 1]");
+}
+
+PulsedLaser::PulsedLaser(double wavelength, double peak_power,
+                         double wall_plug_efficiency)
+    : wavelength_(wavelength),
+      peak_power_(peak_power),
+      wall_plug_efficiency_(wall_plug_efficiency) {
+  expects(wavelength > 0.0, "laser wavelength must be positive");
+  expects(peak_power >= 0.0, "laser power must be non-negative");
+  expects(wall_plug_efficiency > 0.0 && wall_plug_efficiency <= 1.0,
+          "wall-plug efficiency must be in (0, 1]");
+}
+
+void PulsedLaser::schedule_pulse(double t_start, double width) {
+  expects(width > 0.0, "pulse width must be positive");
+  pulses_.push_back({t_start, width});
+}
+
+void PulsedLaser::clear() { pulses_.clear(); }
+
+double PulsedLaser::power_at(double t) const {
+  for (const auto& p : pulses_) {
+    if (t >= p.start && t < p.start + p.width) return peak_power_;
+  }
+  return 0.0;
+}
+
+double PulsedLaser::scheduled_optical_energy() const {
+  double energy = 0.0;
+  for (const auto& p : pulses_) energy += peak_power_ * p.width;
+  return energy;
+}
+
+double PulsedLaser::scheduled_wall_energy() const {
+  return scheduled_optical_energy() / wall_plug_efficiency_;
+}
+
+}  // namespace ptc::optics

@@ -1,0 +1,73 @@
+#ifndef PTC_OPTICS_LASER_HPP
+#define PTC_OPTICS_LASER_HPP
+
+#include "optics/optical_signal.hpp"
+
+/// Laser sources.  Every optical watt delivered on chip costs
+/// 1 / wall_plug_efficiency electrical watts; the paper uses a wall-plug
+/// efficiency of 0.23 (ref. [47]) for all bias and write lasers, and we track
+/// that in the energy roll-ups.
+namespace ptc::optics {
+
+/// Continuous-wave single-wavelength laser.
+class CwLaser {
+ public:
+  /// wavelength [m], optical output power [W], wall-plug efficiency (0, 1].
+  CwLaser(double wavelength, double power, double wall_plug_efficiency = 0.23);
+
+  double wavelength() const { return wavelength_; }
+  double power() const { return power_; }
+  double wall_plug_efficiency() const { return wall_plug_efficiency_; }
+
+  /// Electrical power drawn from the supply to sustain the optical output [W].
+  double wall_power() const { return power_ / wall_plug_efficiency_; }
+
+  /// Emitted signal (one channel at the laser wavelength).
+  WdmSignal emit() const { return WdmSignal::single(wavelength_, power_); }
+
+ private:
+  double wavelength_;
+  double power_;
+  double wall_plug_efficiency_;
+};
+
+/// Gated write laser producing rectangular optical pulses, used to drive the
+/// pSRAM write bitlines (0 dBm, 50 ps pulses in the paper).
+class PulsedLaser {
+ public:
+  /// wavelength [m], peak power while gated on [W], wall-plug efficiency.
+  PulsedLaser(double wavelength, double peak_power,
+              double wall_plug_efficiency = 0.23);
+
+  /// Schedules a pulse [t_start, t_start + width).
+  void schedule_pulse(double t_start, double width);
+
+  /// Removes all scheduled pulses.
+  void clear();
+
+  /// Instantaneous optical output power at time t [W].
+  double power_at(double t) const;
+
+  double wavelength() const { return wavelength_; }
+  double peak_power() const { return peak_power_; }
+
+  /// Total optical pulse energy scheduled so far [J].
+  double scheduled_optical_energy() const;
+
+  /// Electrical (wall-plug) energy for the scheduled pulses [J].
+  double scheduled_wall_energy() const;
+
+ private:
+  struct Pulse {
+    double start;
+    double width;
+  };
+  double wavelength_;
+  double peak_power_;
+  double wall_plug_efficiency_;
+  std::vector<Pulse> pulses_;
+};
+
+}  // namespace ptc::optics
+
+#endif  // PTC_OPTICS_LASER_HPP

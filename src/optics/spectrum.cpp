@@ -1,0 +1,58 @@
+#include "optics/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace ptc::optics {
+
+WavelengthGrid::WavelengthGrid(std::vector<double> wavelengths)
+    : wavelengths_(std::move(wavelengths)) {
+  expects(!wavelengths_.empty(), "wavelength grid cannot be empty");
+  expects(std::is_sorted(wavelengths_.begin(), wavelengths_.end()) &&
+              std::adjacent_find(wavelengths_.begin(), wavelengths_.end()) ==
+                  wavelengths_.end(),
+          "wavelength grid must be strictly increasing");
+  expects(wavelengths_.front() > 0.0, "wavelengths must be positive");
+}
+
+WavelengthGrid WavelengthGrid::uniform(double first, double spacing,
+                                       std::size_t count) {
+  expects(count >= 1, "grid needs at least one channel");
+  expects(spacing > 0.0, "grid spacing must be positive");
+  std::vector<double> ws(count);
+  for (std::size_t i = 0; i < count; ++i)
+    ws[i] = first + spacing * static_cast<double>(i);
+  return WavelengthGrid(std::move(ws));
+}
+
+double WavelengthGrid::wavelength(std::size_t channel) const {
+  expects(channel < wavelengths_.size(), "channel index out of range");
+  return wavelengths_[channel];
+}
+
+double WavelengthGrid::spacing() const {
+  expects(wavelengths_.size() >= 2, "spacing needs >= 2 channels");
+  const double s = wavelengths_[1] - wavelengths_[0];
+  for (std::size_t i = 1; i + 1 < wavelengths_.size(); ++i) {
+    const double d = wavelengths_[i + 1] - wavelengths_[i];
+    expects(std::fabs(d - s) < 1e-15 + 1e-9 * s, "grid is not uniform");
+  }
+  return s;
+}
+
+std::size_t WavelengthGrid::nearest_channel(double wavelength) const {
+  std::size_t best = 0;
+  double best_dist = std::fabs(wavelengths_[0] - wavelength);
+  for (std::size_t i = 1; i < wavelengths_.size(); ++i) {
+    const double d = std::fabs(wavelengths_[i] - wavelength);
+    if (d < best_dist) {
+      best = i;
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace ptc::optics

@@ -1,0 +1,37 @@
+#ifndef PTC_OPTICS_SPECTRUM_HPP
+#define PTC_OPTICS_SPECTRUM_HPP
+
+#include <cstddef>
+#include <vector>
+
+/// WDM wavelength grids.  The vector-multiply macro of the paper assigns four
+/// wavelength channels (lambda_1..lambda_4, 2.33 nm apart) within one
+/// microring free spectral range; this class owns that bookkeeping.
+namespace ptc::optics {
+
+class WavelengthGrid {
+ public:
+  /// Grid with explicit wavelengths [m]; must be strictly increasing.
+  explicit WavelengthGrid(std::vector<double> wavelengths);
+
+  /// Uniform grid of `count` channels starting at `first` [m], spaced by
+  /// `spacing` [m].
+  static WavelengthGrid uniform(double first, double spacing, std::size_t count);
+
+  std::size_t size() const { return wavelengths_.size(); }
+  double wavelength(std::size_t channel) const;
+  const std::vector<double>& wavelengths() const { return wavelengths_; }
+
+  /// Channel-to-channel spacing [m]; requires a uniform grid of >= 2 channels.
+  double spacing() const;
+
+  /// Index of the channel closest to the given wavelength.
+  std::size_t nearest_channel(double wavelength) const;
+
+ private:
+  std::vector<double> wavelengths_;
+};
+
+}  // namespace ptc::optics
+
+#endif  // PTC_OPTICS_SPECTRUM_HPP

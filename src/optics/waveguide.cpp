@@ -1,0 +1,33 @@
+#include "optics/waveguide.hpp"
+
+#include "common/constants.hpp"
+#include "common/expects.hpp"
+#include "common/units.hpp"
+
+namespace ptc::optics {
+
+Waveguide::Waveguide(double length, double loss_db_per_cm, double group_index)
+    : length_(length),
+      loss_db_per_cm_(loss_db_per_cm),
+      group_index_(group_index) {
+  expects(length >= 0.0, "waveguide length must be >= 0");
+  expects(loss_db_per_cm >= 0.0, "waveguide loss must be >= 0");
+  expects(group_index >= 1.0, "group index must be >= 1");
+}
+
+WdmSignal Waveguide::propagate(const WdmSignal& in) const {
+  WdmSignal out = in;
+  out.scale(transmission());
+  return out;
+}
+
+double Waveguide::transmission() const {
+  const double loss_db = loss_db_per_cm_ * length_ * 100.0;  // m -> cm
+  return units::db_to_ratio(-loss_db);
+}
+
+double Waveguide::delay() const {
+  return group_index_ * length_ / constants::c0;
+}
+
+}  // namespace ptc::optics

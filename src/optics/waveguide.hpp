@@ -1,0 +1,51 @@
+#ifndef PTC_OPTICS_WAVEGUIDE_HPP
+#define PTC_OPTICS_WAVEGUIDE_HPP
+
+#include "optics/optical_signal.hpp"
+
+/// Straight/routing waveguide with propagation loss and group delay.
+namespace ptc::optics {
+
+class Waveguide {
+ public:
+  /// length [m], propagation loss [dB/cm], group index (for delay).
+  explicit Waveguide(double length, double loss_db_per_cm = 1.5,
+                     double group_index = 4.0);
+
+  /// Attenuates all channels by the propagation loss.
+  WdmSignal propagate(const WdmSignal& in) const;
+
+  /// Power transmission factor (0, 1].
+  double transmission() const;
+
+  /// Group delay through the guide [s].
+  double delay() const;
+
+  double length() const { return length_; }
+
+ private:
+  double length_;
+  double loss_db_per_cm_;
+  double group_index_;
+};
+
+/// Passive absorber terminating a waveguide; records the absorbed power so
+/// power-conservation tests can account for every milliwatt.
+class Absorber {
+ public:
+  /// Absorbs the signal, accumulating its total power.
+  void absorb(const WdmSignal& in) { absorbed_power_ += in.total_power(); }
+
+  /// Sum of absorbed signal powers so far [W] (powers, not energies: callers
+  /// sample this between steady-state evaluations).
+  double absorbed_power() const { return absorbed_power_; }
+
+  void reset() { absorbed_power_ = 0.0; }
+
+ private:
+  double absorbed_power_ = 0.0;
+};
+
+}  // namespace ptc::optics
+
+#endif  // PTC_OPTICS_WAVEGUIDE_HPP

@@ -1,0 +1,41 @@
+#include "sim/events.hpp"
+
+#include <algorithm>
+
+#include "common/expects.hpp"
+#include "common/interp.hpp"
+
+namespace ptc::sim {
+
+void PulseSchedule::add_pulse(double start, double width, double amplitude) {
+  expects(width > 0.0, "pulse width must be positive");
+  pulses_.push_back({start, width, amplitude});
+}
+
+double PulseSchedule::value_at(double t) const {
+  for (const auto& p : pulses_) {
+    if (t >= p.start && t < p.start + p.width) return p.amplitude;
+  }
+  return baseline_;
+}
+
+double PulseSchedule::last_event_time() const {
+  double last = 0.0;
+  for (const auto& p : pulses_) last = std::max(last, p.start + p.width);
+  return last;
+}
+
+void PiecewiseLinearSource::add_knot(double t, double value) {
+  expects(times_.empty() || t > times_.back(),
+          "knots must be strictly increasing in time");
+  times_.push_back(t);
+  values_.push_back(value);
+}
+
+double PiecewiseLinearSource::value_at(double t) const {
+  expects(!times_.empty(), "source has no knots");
+  if (times_.size() == 1) return values_.front();
+  return interp_table(times_, values_, t);
+}
+
+}  // namespace ptc::sim

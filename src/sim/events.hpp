@@ -1,0 +1,55 @@
+#ifndef PTC_SIM_EVENTS_HPP
+#define PTC_SIM_EVENTS_HPP
+
+#include <vector>
+
+/// Time-domain stimulus sources for transient simulations.
+namespace ptc::sim {
+
+/// Rectangular pulse train: value_at(t) returns the amplitude of the pulse
+/// covering t, or the baseline when none does.  Pulses may have individual
+/// amplitudes (optical write pulses, clock gates, input steps).
+class PulseSchedule {
+ public:
+  explicit PulseSchedule(double baseline = 0.0) : baseline_(baseline) {}
+
+  /// Adds a pulse over [start, start + width) with the given amplitude.
+  void add_pulse(double start, double width, double amplitude);
+
+  double value_at(double t) const;
+
+  double baseline() const { return baseline_; }
+  std::size_t pulse_count() const { return pulses_.size(); }
+
+  /// End time of the latest pulse (baseline-only schedules return 0).
+  double last_event_time() const;
+
+ private:
+  struct Pulse {
+    double start;
+    double width;
+    double amplitude;
+  };
+  double baseline_;
+  std::vector<Pulse> pulses_;
+};
+
+/// Piecewise-linear source defined by (time, value) knots; clamps at the
+/// extremes.  Used for analog ramps (ADC transfer-function sweeps).
+class PiecewiseLinearSource {
+ public:
+  /// Knots must be provided in strictly increasing time order.
+  void add_knot(double t, double value);
+
+  double value_at(double t) const;
+
+  std::size_t knot_count() const { return times_.size(); }
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace ptc::sim
+
+#endif  // PTC_SIM_EVENTS_HPP

@@ -1,0 +1,33 @@
+#include "sim/montecarlo.hpp"
+
+#include "common/expects.hpp"
+#include "common/statistics.hpp"
+
+namespace ptc::sim {
+
+MonteCarloSummary run_monte_carlo(std::size_t n, std::uint64_t base_seed,
+                                  const std::function<double(Rng&)>& trial,
+                                  const std::function<bool(double)>& pass) {
+  expects(n >= 1, "monte carlo requires at least one trial");
+  expects(static_cast<bool>(trial), "trial function must be callable");
+
+  MonteCarloSummary summary;
+  summary.trials = n;
+  summary.samples.reserve(n);
+  std::size_t passed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Decorrelate per-trial streams with a SplitMix-style seed scramble.
+    Rng rng(base_seed + 0x9e3779b97f4a7c15ull * (i + 1));
+    const double metric = trial(rng);
+    summary.samples.push_back(metric);
+    if (!pass || pass(metric)) ++passed;
+  }
+  summary.mean = mean(summary.samples);
+  summary.std_dev = summary.samples.size() >= 2 ? stddev(summary.samples) : 0.0;
+  summary.min = min_of(summary.samples);
+  summary.max = max_of(summary.samples);
+  summary.yield = static_cast<double>(passed) / static_cast<double>(n);
+  return summary;
+}
+
+}  // namespace ptc::sim

@@ -1,0 +1,34 @@
+#ifndef PTC_SIM_MONTECARLO_HPP
+#define PTC_SIM_MONTECARLO_HPP
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+/// Monte-Carlo harness for fabrication/thermal variation studies: each trial
+/// receives an independently-seeded deterministic RNG, so experiments are
+/// reproducible and trials are statistically independent.
+namespace ptc::sim {
+
+struct MonteCarloSummary {
+  std::size_t trials = 0;
+  double mean = 0.0;
+  double std_dev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Fraction of trials whose metric satisfied the caller's pass predicate
+  /// (1.0 when no predicate was supplied).
+  double yield = 1.0;
+  std::vector<double> samples;
+};
+
+/// Runs `trial` n times; each call gets a fresh RNG derived from base_seed.
+MonteCarloSummary run_monte_carlo(
+    std::size_t n, std::uint64_t base_seed,
+    const std::function<double(Rng&)>& trial,
+    const std::function<bool(double)>& pass = nullptr);
+
+}  // namespace ptc::sim
+
+#endif  // PTC_SIM_MONTECARLO_HPP

@@ -1,0 +1,45 @@
+#ifndef PTC_SIM_SWEEP_HPP
+#define PTC_SIM_SWEEP_HPP
+
+#include <functional>
+#include <vector>
+
+/// Parameter sweep helpers for the bench harness: run a metric across a grid
+/// and collect (parameter, value) records.
+namespace ptc::sim {
+
+struct SweepPoint {
+  double parameter;
+  double value;
+};
+
+/// Evaluates `metric` at every value in `grid`.
+inline std::vector<SweepPoint> sweep_1d(
+    const std::vector<double>& grid,
+    const std::function<double(double)>& metric) {
+  std::vector<SweepPoint> out;
+  out.reserve(grid.size());
+  for (double p : grid) out.push_back({p, metric(p)});
+  return out;
+}
+
+struct SweepPoint2d {
+  double parameter_a;
+  double parameter_b;
+  double value;
+};
+
+/// Evaluates `metric` over the cartesian product grid_a x grid_b.
+inline std::vector<SweepPoint2d> sweep_2d(
+    const std::vector<double>& grid_a, const std::vector<double>& grid_b,
+    const std::function<double(double, double)>& metric) {
+  std::vector<SweepPoint2d> out;
+  out.reserve(grid_a.size() * grid_b.size());
+  for (double a : grid_a)
+    for (double b : grid_b) out.push_back({a, b, metric(a, b)});
+  return out;
+}
+
+}  // namespace ptc::sim
+
+#endif  // PTC_SIM_SWEEP_HPP

@@ -1,0 +1,105 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+#include "common/expects.hpp"
+#include "common/interp.hpp"
+
+namespace ptc::sim {
+
+void Trace::record(double t, double value) {
+  expects(times_.empty() || t >= times_.back(),
+          "trace samples must be recorded in time order");
+  times_.push_back(t);
+  values_.push_back(value);
+}
+
+double Trace::value_at(double t) const {
+  expects(!times_.empty(), "trace is empty");
+  if (times_.size() == 1 || t <= times_.front()) return values_.front();
+  if (t >= times_.back()) return values_.back();
+  return interp_table(times_, values_, t);
+}
+
+double Trace::final_value() const {
+  expects(!values_.empty(), "trace is empty");
+  return values_.back();
+}
+
+double Trace::min_value() const {
+  expects(!values_.empty(), "trace is empty");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Trace::max_value() const {
+  expects(!values_.empty(), "trace is empty");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+std::optional<double> Trace::first_crossing(double level, bool rising,
+                                            double t_after) const {
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    if (times_[i] < t_after) continue;
+    const double prev = values_[i - 1];
+    const double curr = values_[i];
+    const bool crossed = rising ? (prev < level && curr >= level)
+                                : (prev > level && curr <= level);
+    if (crossed) {
+      // Interpolate the crossing instant within the step.
+      const double frac = (level - prev) / (curr - prev);
+      return times_[i - 1] + frac * (times_[i] - times_[i - 1]);
+    }
+  }
+  return std::nullopt;
+}
+
+bool Trace::settled_at(double level, double tol, double t_after) const {
+  expects(!times_.empty(), "trace is empty");
+  bool saw_any = false;
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    if (times_[i] < t_after) continue;
+    saw_any = true;
+    if (values_[i] < level - tol || values_[i] > level + tol) return false;
+  }
+  return saw_any;
+}
+
+const Trace& TraceSet::get(const std::string& name) const {
+  const auto it = traces_.find(name);
+  if (it == traces_.end())
+    throw std::invalid_argument("unknown trace: " + name);
+  return it->second;
+}
+
+bool TraceSet::contains(const std::string& name) const {
+  return traces_.find(name) != traces_.end();
+}
+
+std::vector<std::string> TraceSet::names() const {
+  std::vector<std::string> out;
+  out.reserve(traces_.size());
+  for (const auto& [name, trace] : traces_) out.push_back(name);
+  return out;
+}
+
+void TraceSet::write_csv(const std::string& path) const {
+  expects(!traces_.empty(), "no traces to write");
+  std::set<double> time_axis;
+  for (const auto& [name, trace] : traces_) {
+    time_axis.insert(trace.times().begin(), trace.times().end());
+  }
+  std::vector<std::string> columns{"time"};
+  for (const auto& [name, trace] : traces_) columns.push_back(name);
+  CsvWriter csv(columns);
+  for (double t : time_axis) {
+    std::vector<double> row{t};
+    for (const auto& [name, trace] : traces_) row.push_back(trace.value_at(t));
+    csv.add_row(row);
+  }
+  csv.write_file(path);
+}
+
+}  // namespace ptc::sim

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/comparison.hpp"
+#include "baseline/mzi_mesh.hpp"
+#include "baseline/pcm_crossbar.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace ptc;
+using namespace ptc::baseline;
+
+CMatrix random_unitary(std::size_t n, std::uint64_t seed) {
+  // QR-free construction: start from a random complex matrix and
+  // Gram-Schmidt its columns.
+  Rng rng(seed);
+  std::vector<std::vector<std::complex<double>>> cols(n);
+  for (auto& col : cols) {
+    col.resize(n);
+    for (auto& v : col) v = {rng.normal(), rng.normal()};
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < j; ++k) {
+      std::complex<double> dot{};
+      for (std::size_t i = 0; i < n; ++i)
+        dot += std::conj(cols[k][i]) * cols[j][i];
+      for (std::size_t i = 0; i < n; ++i) cols[j][i] -= dot * cols[k][i];
+    }
+    double norm = 0.0;
+    for (const auto& v : cols[j]) norm += std::norm(v);
+    norm = std::sqrt(norm);
+    for (auto& v : cols[j]) v /= norm;
+  }
+  CMatrix u(n, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) u(i, j) = cols[j][i];
+  return u;
+}
+
+class MeshSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MeshSizes, ProgramsRandomUnitaryWithHighFidelity) {
+  const std::size_t n = GetParam();
+  const CMatrix u = random_unitary(n, 1000 + n);
+  ASSERT_TRUE(is_unitary(u, 1e-9));
+  MziMesh mesh(n);
+  mesh.program_unitary(u);
+  const CMatrix realized = mesh.realized_unitary();
+  EXPECT_LT(realized.max_abs_diff(u), 1e-9) << "n = " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MeshSizes, ::testing::Values(2, 3, 4, 6, 8));
+
+TEST(MziMesh, MziCountIsTriangular) {
+  MziMesh mesh(6);
+  mesh.program_unitary(random_unitary(6, 7));
+  // Reck-style decomposition uses at most n(n-1)/2 elements.
+  EXPECT_LE(mesh.mzi_count(), 15u);
+  EXPECT_GE(mesh.mzi_count(), 10u);  // dense unitary needs almost all
+}
+
+TEST(MziMesh, RejectsNonUnitary) {
+  MziMesh mesh(3);
+  CMatrix not_unitary(3, 3);
+  not_unitary(0, 0) = 2.0;
+  EXPECT_THROW(mesh.program_unitary(not_unitary), std::invalid_argument);
+}
+
+TEST(MziMesh, PropagateMatchesMatvec) {
+  const std::size_t n = 5;
+  const CMatrix u = random_unitary(n, 77);
+  MziMesh mesh(n);
+  mesh.program_unitary(u);
+  std::vector<std::complex<double>> in(n);
+  Rng rng(3);
+  for (auto& v : in) v = {rng.uniform(), rng.uniform()};
+  const auto direct = matvec(u, in);
+  const auto meshed = mesh.propagate(in);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(direct[i] - meshed[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(MziMesh, InsertionLossAttenuates) {
+  const std::size_t n = 4;
+  const CMatrix u = random_unitary(n, 21);
+  MziMesh mesh(n);
+  mesh.program_unitary(u);
+  std::vector<std::complex<double>> in(n, {0.5, 0.0});
+  const auto lossless = mesh.propagate(in);
+  mesh.set_insertion_loss_db(0.5);
+  const auto lossy = mesh.propagate(in);
+  double p_lossless = 0.0, p_lossy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    p_lossless += std::norm(lossless[i]);
+    p_lossy += std::norm(lossy[i]);
+  }
+  EXPECT_LT(p_lossy, p_lossless);
+  EXPECT_THROW(mesh.set_insertion_loss_db(-1.0), std::invalid_argument);
+}
+
+TEST(MziProcessor, ProgramsArbitraryRealMatrix) {
+  const std::size_t n = 6;
+  Rng rng(42);
+  Matrix w(n, n);
+  for (double& v : w.data()) v = rng.uniform(-1.0, 1.0);
+  MziMatrixProcessor processor(n);
+  processor.program(w);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  const auto y = processor.multiply(x);
+  const auto expected = matvec(w, x);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y[i], expected[i], 1e-8);
+  }
+}
+
+TEST(MziProcessor, DeviceCountQuadratic) {
+  // The paper's scalability argument against MZI meshes: O(N^2) devices.
+  EXPECT_EQ(MziMatrixProcessor::mzi_count_for(4), 16u);   // 12 MZIs + 4 att
+  EXPECT_EQ(MziMatrixProcessor::mzi_count_for(16), 256u);
+  EXPECT_EQ(MziMatrixProcessor::mzi_count_for(64), 4096u);
+}
+
+TEST(PcmCrossbar, ProgramAndRead) {
+  PcmCrossbar xbar;
+  Matrix w(16, 16, 0.0);
+  w(0, 0) = 1.0;
+  w(0, 1) = 0.5;
+  xbar.program(w);
+  EXPECT_NEAR(xbar.transmittance(0, 0), 0.95, 1e-9);  // t_max
+  EXPECT_NEAR(xbar.transmittance(0, 1), 0.5, 0.05);
+  EXPECT_NEAR(xbar.transmittance(5, 5), 0.05, 1e-9);  // t_min
+}
+
+TEST(PcmCrossbar, MultiplyIsLinearInTransmittance) {
+  PcmCrossbarConfig config;
+  config.rows = 2;
+  config.cols = 2;
+  config.t_min = 0.0;
+  config.t_max = 1.0;
+  config.levels = 256;
+  PcmCrossbar xbar(config);
+  xbar.program(Matrix{{1.0, 0.5}, {0.0, 0.25}});
+  const auto y = xbar.multiply({1.0, 1.0});
+  EXPECT_NEAR(y[0], 1.5, 0.01);
+  EXPECT_NEAR(y[1], 0.25, 0.01);
+}
+
+TEST(PcmCrossbar, WriteCostAndLatency) {
+  PcmCrossbar xbar;
+  Matrix w(16, 16, 0.7);
+  const double latency = xbar.program(w);
+  // 256 changed cells over 16 parallel rows at 100 ns each = 1.6 us —
+  // versus the pSRAM array's 2.4 ns (the paper's update-speed argument).
+  EXPECT_NEAR(latency * 1e6, 1.6, 0.01);
+  EXPECT_NEAR(xbar.write_energy_consumed() * 1e9, 256 * 18e-3, 0.1);
+  // Unchanged reprogram is free.
+  EXPECT_NEAR(xbar.program(w), 0.0, 1e-12);
+}
+
+TEST(PcmCrossbar, DriftDegradesOverTime) {
+  PcmCrossbar xbar;
+  Matrix w(16, 16, 1.0);
+  xbar.program(w);
+  const auto fresh = xbar.multiply(std::vector<double>(16, 1.0), 0.0);
+  const auto aged = xbar.multiply(std::vector<double>(16, 1.0), 3600.0);
+  EXPECT_LT(aged[0], fresh[0]);
+  EXPECT_GT(aged[0], 0.8 * fresh[0]);  // bounded drift
+}
+
+TEST(PcmCrossbar, EnduranceTracking) {
+  PcmCrossbarConfig config;
+  config.rows = 1;
+  config.cols = 1;
+  config.endurance = 10;
+  PcmCrossbar xbar(config);
+  for (int i = 0; i < 12; ++i) {
+    Matrix w(1, 1, (i % 2) ? 1.0 : 0.0);
+    xbar.program(w);
+  }
+  EXPECT_EQ(xbar.max_cell_updates(), 12u);
+  EXPECT_TRUE(xbar.worn_out());
+}
+
+TEST(Comparison, TableHasAllSixRows) {
+  const auto rows = table1_rows();
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows.back().name, "This Work");
+  // Paper Table I values.
+  EXPECT_NEAR(rows[0].throughput_tops, 0.12, 0.01);   // [33]
+  EXPECT_NEAR(rows[1].throughput_tops, 0.93, 1e-9);   // [48]
+  EXPECT_NEAR(rows[2].throughput_tops, 11.0, 1e-9);   // [49]
+  EXPECT_NEAR(rows[3].efficiency_tops_w, 10.0, 1e-9); // [50]
+  EXPECT_NEAR(rows[4].throughput_tops, 3.98, 1e-9);   // [51]
+  EXPECT_NEAR(rows.back().throughput_tops, 4.10, 0.01);
+  EXPECT_NEAR(rows.back().efficiency_tops_w, 3.02, 0.03);
+}
+
+TEST(Comparison, ThisWorkHasFastestWeightUpdateExceptTfln) {
+  const auto rows = table1_rows();
+  const double ours = rows.back().weight_update_hz;
+  EXPECT_DOUBLE_EQ(ours, 20e9);
+  for (std::size_t i = 1; i + 1 < rows.size(); ++i) {  // skip [33] (60 GHz EO)
+    EXPECT_GT(ours, rows[i].weight_update_hz) << rows[i].name;
+  }
+  // [33] updates faster but computes 34x slower than this work.
+  EXPECT_GT(rows[0].weight_update_hz, ours);
+  EXPECT_LT(rows[0].throughput_tops, 0.1 * rows.back().throughput_tops);
+}
+
+}  // namespace

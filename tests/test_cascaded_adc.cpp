@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adc/cascaded.hpp"
+#include "adc/ideal_adc.hpp"
+
+namespace {
+
+using namespace ptc::adc;
+
+TEST(CascadedAdc, SixBitsFromTwoThreeBitSlices) {
+  CascadedEoAdc adc;
+  EXPECT_EQ(adc.bits(), 6u);
+  EXPECT_EQ(adc.max_code(), 63u);
+  EXPECT_NEAR(adc.lsb(), 4.0 / 64.0, 1e-12);
+}
+
+TEST(CascadedAdc, MonotoneTransfer) {
+  CascadedEoAdc adc;
+  unsigned prev = 0;
+  for (double v = 0.0; v <= 4.0; v += 0.002) {
+    const unsigned code = adc.convert(v);
+    EXPECT_GE(code + 1, prev) << "non-monotonic at " << v;  // allow +-0 jitter
+    prev = std::max(prev, code);
+  }
+  EXPECT_GE(prev, 62u);  // reaches (nearly) full scale
+}
+
+TEST(CascadedAdc, TracksIdealSixBitQuantizer) {
+  CascadedEoAdc adc;
+  const IdealAdc ideal(6, 4.0);
+  double worst = 0.0;
+  for (double v = 0.02; v < 3.98; v += 0.013) {
+    const double err = std::fabs(static_cast<double>(adc.convert(v)) -
+                                 static_cast<double>(ideal.convert(v)));
+    worst = std::max(worst, err);
+  }
+  // Stage-boundary offsets cost a couple of fine LSBs, not coarse ones.
+  EXPECT_LE(worst, 3.0);
+}
+
+TEST(CascadedAdc, AllCodesReachable) {
+  CascadedEoAdc adc;
+  std::vector<bool> seen(64, false);
+  for (double v = 0.0; v <= 4.0; v += 0.0005) {
+    seen[adc.convert(v)] = true;
+  }
+  std::size_t count = 0;
+  for (bool s : seen) count += s ? 1 : 0;
+  EXPECT_GE(count, 62u);  // no broad missing-code regions
+}
+
+TEST(CascadedAdc, ResidueWithinFineRange) {
+  CascadedEoAdc adc;
+  for (double v = 0.0; v <= 4.0; v += 0.05) {
+    const double r = adc.residue(v);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 4.0);
+  }
+}
+
+TEST(CascadedAdc, PipelinedRateAndPower) {
+  CascadedEoAdc adc;
+  EXPECT_DOUBLE_EQ(adc.sample_rate(), 8e9);  // slice rate, pipelined
+  // Two slices + residue amp: ~2x the single-slice power.
+  EXPECT_NEAR(adc.total_power() * 1e3, 2.0 * 18.6 + 2.0, 0.5);
+  EXPECT_NEAR(adc.energy_per_conversion() * 1e12, 4.9, 0.2);
+}
+
+TEST(CascadedAdc, ResidueGainErrorDegradesAccuracy) {
+  CascadedAdcConfig imperfect;
+  imperfect.residue_gain_error = 0.05;  // 5% inter-stage gain error
+  CascadedEoAdc bad(imperfect);
+  CascadedEoAdc good;
+  const IdealAdc ideal(6, 4.0);
+  double err_bad = 0.0, err_good = 0.0;
+  for (double v = 0.02; v < 3.98; v += 0.007) {
+    err_bad += std::fabs(static_cast<double>(bad.convert(v)) -
+                         static_cast<double>(ideal.convert(v)));
+    err_good += std::fabs(static_cast<double>(good.convert(v)) -
+                          static_cast<double>(ideal.convert(v)));
+  }
+  EXPECT_GT(err_bad, err_good);
+}
+
+TEST(CascadedAdc, RejectsMismatchedStages) {
+  CascadedAdcConfig bad;
+  bad.fine.v_full_scale = 2.0;
+  EXPECT_THROW(CascadedEoAdc{bad}, std::invalid_argument);
+}
+
+}  // namespace

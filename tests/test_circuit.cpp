@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.hpp"
+
+namespace {
+
+using namespace ptc::circuit;
+
+TEST(FirstOrderLag, ExactDiscreteStep) {
+  FirstOrderLag lag(1e-9, 0.0);
+  // One full time constant toward 1.0: 1 - e^-1.
+  lag.step(1.0, 1e-9);
+  EXPECT_NEAR(lag.value(), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(FirstOrderLag, StableForLargeSteps) {
+  FirstOrderLag lag(1e-12, 0.0);
+  // dt >> tau must not overshoot (exact discretization, not forward Euler).
+  lag.step(1.0, 1e-9);
+  EXPECT_LE(lag.value(), 1.0);
+  EXPECT_NEAR(lag.value(), 1.0, 1e-9);
+}
+
+TEST(FirstOrderLag, ManySmallStepsMatchAnalytic) {
+  FirstOrderLag lag(5e-12, 0.0);
+  const double dt = 0.1e-12;
+  for (int i = 0; i < 100; ++i) lag.step(2.0, dt);
+  EXPECT_NEAR(lag.value(), 2.0 * (1.0 - std::exp(-10e-12 / 5e-12)), 1e-9);
+  EXPECT_THROW(lag.step(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(FirstOrderLag(0.0), std::invalid_argument);
+}
+
+TEST(Circuit, NodeLifecycle) {
+  Circuit ckt;
+  const auto n = ckt.add_node({.capacitance = 1e-15, .v_init = 0.5});
+  EXPECT_EQ(ckt.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(ckt.voltage(n), 0.5);
+  EXPECT_DOUBLE_EQ(ckt.capacitance(n), 1e-15);
+  ckt.set_voltage(n, 1.0);
+  EXPECT_DOUBLE_EQ(ckt.voltage(n), 1.0);
+  EXPECT_THROW(ckt.voltage(5), std::invalid_argument);
+}
+
+TEST(Circuit, CurrentIntegration) {
+  Circuit ckt;
+  const auto n = ckt.add_node({.capacitance = 10e-15, .v_init = 0.0});
+  // 1 mA into 10 fF for 1 ps -> dV = I dt / C = 0.1 V.
+  ckt.inject_current(n, 1e-3);
+  ckt.step(1e-12);
+  EXPECT_NEAR(ckt.voltage(n), 0.1, 1e-12);
+  // Accumulator cleared: stepping again without current keeps the voltage.
+  ckt.step(1e-12);
+  EXPECT_NEAR(ckt.voltage(n), 0.1, 1e-12);
+}
+
+TEST(Circuit, MultipleInjectionsSum) {
+  Circuit ckt;
+  const auto n = ckt.add_node({.capacitance = 1e-15, .v_init = 0.0});
+  ckt.inject_current(n, 2e-6);
+  ckt.inject_current(n, -0.5e-6);
+  ckt.step(1e-13);
+  EXPECT_NEAR(ckt.voltage(n), 1.5e-6 * 1e-13 / 1e-15, 1e-12);
+}
+
+TEST(Circuit, RailClamping) {
+  Circuit ckt;
+  const auto n =
+      ckt.add_node({.capacitance = 1e-15, .v_init = 1.7, .v_min = 0.0,
+                    .v_max = 1.8});
+  ckt.inject_current(n, 1e-3);
+  ckt.step(1e-12);
+  EXPECT_DOUBLE_EQ(ckt.voltage(n), 1.8);
+  ckt.inject_current(n, -1e-3);
+  ckt.step(1e-9);
+  EXPECT_DOUBLE_EQ(ckt.voltage(n), 0.0);
+  // set_voltage also clamps.
+  ckt.set_voltage(n, 5.0);
+  EXPECT_DOUBLE_EQ(ckt.voltage(n), 1.8);
+}
+
+TEST(Circuit, RcDischargeThroughFeedback) {
+  // Model a resistor to ground as a voltage-dependent current source and
+  // check the exponential decay: tau = R C = 1 ns.
+  Circuit ckt;
+  const auto n = ckt.add_node({.capacitance = 1e-12, .v_init = 1.0});
+  const double r = 1e3;
+  const double dt = 1e-12;
+  for (int i = 0; i < 1000; ++i) {
+    ckt.inject_current(n, -ckt.voltage(n) / r);
+    ckt.step(dt);
+  }
+  EXPECT_NEAR(ckt.voltage(n), std::exp(-1.0), 2e-3);
+}
+
+TEST(Circuit, RejectsBadNodes) {
+  Circuit ckt;
+  EXPECT_THROW(ckt.add_node({.capacitance = 0.0}), std::invalid_argument);
+  EXPECT_THROW(ckt.add_node({.capacitance = 1e-15, .v_init = 2.0,
+                             .v_min = 0.0, .v_max = 1.8}),
+               std::invalid_argument);
+  EXPECT_THROW(ckt.step(0.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "circuit/energy.hpp"
+
+namespace {
+
+using ptc::circuit::EnergyLedger;
+
+TEST(EnergyLedger, AccumulatesPerCategory) {
+  EnergyLedger ledger;
+  ledger.add_energy("laser", 1e-12);
+  ledger.add_energy("laser", 2e-12);
+  ledger.add_energy("driver", 0.5e-12);
+  EXPECT_NEAR(ledger.energy("laser"), 3e-12, 1e-18);
+  EXPECT_NEAR(ledger.energy("driver"), 0.5e-12, 1e-18);
+  EXPECT_NEAR(ledger.total_energy(), 3.5e-12, 1e-18);
+  EXPECT_DOUBLE_EQ(ledger.energy("unknown"), 0.0);
+}
+
+TEST(EnergyLedger, StaticPowerAccrual) {
+  EnergyLedger ledger;
+  ledger.add_static_power("adc", 18.6e-3);
+  ledger.add_static_power("tia", 38e-3);
+  EXPECT_NEAR(ledger.total_static_power(), 56.6e-3, 1e-9);
+  ledger.accrue_static(125e-12);  // one 8 GS/s sample window
+  EXPECT_NEAR(ledger.energy("adc"), 18.6e-3 * 125e-12, 1e-18);
+  EXPECT_NEAR(ledger.energy("tia"), 38e-3 * 125e-12, 1e-18);
+}
+
+TEST(EnergyLedger, RepeatedStaticRegistrationAccumulates) {
+  EnergyLedger ledger;
+  for (int i = 0; i < 16; ++i) ledger.add_static_power("adc", 18.6e-3);
+  EXPECT_NEAR(ledger.static_power("adc"), 16 * 18.6e-3, 1e-9);
+}
+
+TEST(EnergyLedger, EntriesIncludeStaticOnlyCategories) {
+  EnergyLedger ledger;
+  ledger.add_energy("write", 1e-12);
+  ledger.add_static_power("hold", 1e-3);
+  const auto entries = ledger.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  bool saw_hold = false;
+  for (const auto& e : entries) {
+    if (e.category == "hold") {
+      saw_hold = true;
+      EXPECT_DOUBLE_EQ(e.energy, 0.0);
+      EXPECT_DOUBLE_EQ(e.static_power, 1e-3);
+    }
+  }
+  EXPECT_TRUE(saw_hold);
+}
+
+TEST(EnergyLedger, ResetAndValidation) {
+  EnergyLedger ledger;
+  ledger.add_energy("x", 1.0);
+  ledger.reset();
+  EXPECT_DOUBLE_EQ(ledger.total_energy(), 0.0);
+  EXPECT_THROW(ledger.add_energy("x", -1.0), std::invalid_argument);
+  EXPECT_THROW(ledger.add_static_power("x", -1.0), std::invalid_argument);
+  EXPECT_THROW(ledger.accrue_static(-1.0), std::invalid_argument);
+}
+
+}  // namespace

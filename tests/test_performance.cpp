@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/performance.hpp"
+
+namespace {
+
+using namespace ptc::core;
+
+TEST(PerformanceModel, PaperHeadlineNumbers) {
+  const PerformanceModel model;
+  EXPECT_NEAR(model.throughput_ops() / 1e12, 4.10, 0.01);   // 4.10 TOPS
+  EXPECT_NEAR(model.tops_per_watt() / 1e12, 3.02, 0.03);    // 3.02 TOPS/W
+  EXPECT_EQ(model.bitcell_count(), 768u);                   // 768 bitcells
+  EXPECT_DOUBLE_EQ(model.sample_rate(), 8e9);               // ADC-limited
+}
+
+TEST(PerformanceModel, OpsAccounting) {
+  const PerformanceModel model;
+  // 16 rows x (16 multiplies + 16 additions).
+  EXPECT_DOUBLE_EQ(model.ops_per_sample(), 512.0);
+}
+
+TEST(PerformanceModel, WeightReloadTime) {
+  const PerformanceModel model;
+  EXPECT_NEAR(model.weight_reload_time() * 1e9, 2.4, 1e-9);
+}
+
+TEST(PerformanceModel, PowerTableSumsToPower) {
+  const PerformanceModel model;
+  double sum = 0.0;
+  for (const auto& [name, watts] : model.power_table()) {
+    EXPECT_GT(watts, 0.0) << name;
+    sum += watts;
+  }
+  EXPECT_NEAR(sum, model.power(), 1e-12);
+  EXPECT_EQ(model.power_table().size(), 7u);
+}
+
+TEST(PerformanceModel, AdcPowerShareMatchesPaperAdc) {
+  const PerformanceModel model;
+  double adc_power = 0.0;
+  for (const auto& [name, watts] : model.power_table()) {
+    if (name.find("eoADC") != std::string::npos) adc_power += watts;
+  }
+  // 16 ADCs at 18.6 mW each.
+  EXPECT_NEAR(adc_power * 1e3, 16 * 18.6, 2.0);
+}
+
+TEST(PerformanceModel, ReportRow) {
+  const PerformanceModel model;
+  const auto report = model.report();
+  EXPECT_EQ(report.name, "This Work");
+  EXPECT_NEAR(report.throughput_tops, 4.10, 0.01);
+  EXPECT_NEAR(report.efficiency_tops_w, 3.02, 0.03);
+  EXPECT_DOUBLE_EQ(report.weight_update_hz, 20e9);
+}
+
+TEST(PerformanceModel, ScalesWithGeometry) {
+  TensorCoreConfig big;
+  big.rows = 32;
+  big.cols = 32;
+  const PerformanceModel model(big);
+  // 32 x 2 x 32 x 8e9 = 16.4 TOPS.
+  EXPECT_NEAR(model.throughput_ops() / 1e12, 16.38, 0.05);
+  EXPECT_EQ(model.bitcell_count(), 3072u);
+}
+
+TEST(PerformanceModel, PrecisionAffectsBitcellsNotThroughput) {
+  TensorCoreConfig high_precision;
+  high_precision.weight_bits = 5;
+  const PerformanceModel model(high_precision);
+  EXPECT_EQ(model.bitcell_count(), 1280u);
+  EXPECT_NEAR(model.throughput_ops() / 1e12, 4.10, 0.01);
+  // Reload takes longer: 16 x 5 bits at 20 GHz.
+  EXPECT_NEAR(model.weight_reload_time() * 1e9, 4.0, 1e-9);
+}
+
+TEST(PerformanceModel, SlowAdcModeDropsThroughput) {
+  TensorCoreConfig config;
+  config.adc.use_amplifier_chain = false;
+  const PerformanceModel model(config);
+  // 416.7 MS/s instead of 8 GS/s: ~19x lower throughput.
+  EXPECT_LT(model.throughput_ops() / 1e12, 0.25);
+  EXPECT_GT(model.throughput_ops() / 1e12, 0.15);
+}
+
+}  // namespace

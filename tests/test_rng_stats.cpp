@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "common/interp.hpp"
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+
+namespace {
+
+using namespace ptc;
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  bool any_differ = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.next_u64() != c.next_u64()) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(Rng, UniformRangeAndMoments) {
+  Rng rng(7);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) {
+    x = rng.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+  EXPECT_NEAR(mean(xs), 0.5, 0.01);
+  EXPECT_NEAR(stddev(xs), 0.2887, 0.01);
+}
+
+TEST(Rng, UniformIntervalRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.0, 3.0);
+    ASSERT_GE(x, -2.0);
+    ASSERT_LT(x, 3.0);
+  }
+  EXPECT_THROW(rng.uniform(3.0, -2.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(21);
+  std::vector<double> xs(40000);
+  for (auto& x : xs) x = rng.normal(1.5, 2.0);
+  EXPECT_NEAR(mean(xs), 1.5, 0.05);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.05);
+  EXPECT_THROW(rng.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(3);
+  std::size_t hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 10000.0, 0.3, 0.02);
+  EXPECT_THROW(rng.bernoulli(1.5), std::invalid_argument);
+}
+
+TEST(Rng, BelowCoversRangeWithoutBias) {
+  Rng rng(5);
+  std::vector<std::size_t> counts(7, 0);
+  for (int i = 0; i < 14000; ++i) ++counts[rng.below(7)];
+  for (auto c : counts) EXPECT_NEAR(static_cast<double>(c), 2000.0, 250.0);
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Interp, LerpAndLinspace) {
+  EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 0.25), 2.5);
+  const auto grid = linspace(1.0, 2.0, 5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front(), 1.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 2.0);
+  EXPECT_DOUBLE_EQ(grid[2], 1.5);
+  EXPECT_EQ(linspace(3.0, 4.0, 1).size(), 1u);
+}
+
+TEST(Interp, TableLookupClampsAndInterpolates) {
+  const std::vector<double> xs{0.0, 1.0, 2.0};
+  const std::vector<double> ys{0.0, 10.0, 0.0};
+  EXPECT_DOUBLE_EQ(interp_table(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interp_table(xs, ys, 1.5), 5.0);
+  EXPECT_DOUBLE_EQ(interp_table(xs, ys, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(interp_table(xs, ys, 5.0), 0.0);
+  EXPECT_THROW(interp_table({1.0}, {2.0}, 0.0), std::invalid_argument);
+}
+
+TEST(Statistics, BasicDescriptives) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), 1.29099, 1e-5);
+  EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 4.0);
+  EXPECT_NEAR(rms(xs), 2.7386, 1e-4);
+  EXPECT_THROW(mean({}), std::invalid_argument);
+}
+
+TEST(Statistics, LinearFitRecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(0.1 * i);
+    ys.push_back(3.0 * 0.1 * i - 1.0);
+  }
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Statistics, LinearFitR2DropsWithNoise) {
+  Rng rng(11);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back(0.05 * i);
+    ys.push_back(2.0 * xs.back() + rng.normal(0.0, 1.0));
+  }
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 0.2);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_GT(fit.r_squared, 0.8);
+}
+
+TEST(Statistics, HistogramBucketsAndClamping) {
+  const std::vector<double> xs{-1.0, 0.1, 0.2, 0.55, 0.9, 2.0};
+  const auto h = histogram(xs, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 3u);  // -1 clamps into the first bucket
+  EXPECT_EQ(h[1], 3u);  // 2.0 clamps into the last
+}
+
+}  // namespace

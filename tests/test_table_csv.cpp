@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace ptc;
+
+TEST(Table, RendersAlignedColumns) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22.5"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+  // Four lines: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsCompactly) {
+  EXPECT_EQ(TablePrinter::num(4.096), "4.1");
+  EXPECT_EQ(TablePrinter::num(4.096, 4), "4.096");
+  EXPECT_EQ(TablePrinter::num(0.5), "0.5");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  CsvWriter csv({"t", "v"});
+  csv.add_row({0.0, 1.5});
+  csv.add_row({1.0, 2.5});
+  std::ostringstream os;
+  csv.write(os);
+  EXPECT_EQ(os.str(), "t,v\n0,1.5\n1,2.5\n");
+  EXPECT_EQ(csv.row_count(), 2u);
+}
+
+TEST(Csv, RejectsBadRowsAndFiles) {
+  CsvWriter csv({"a"});
+  EXPECT_THROW(csv.add_row({1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(csv.write_file("/nonexistent-dir/foo.csv"), std::runtime_error);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ptc_csv_test.csv";
+  CsvWriter csv({"x", "y", "z"});
+  csv.add_row({1.0, 2.0, 3.0});
+  csv.write_file(path);
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "x,y,z");
+  EXPECT_EQ(row, "1,2,3");
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.hpp"
+#include "core/vector_macro.hpp"
+
+namespace {
+
+using namespace ptc::core;
+
+TEST(VectorMacro, DefaultsMatchPaperGeometry) {
+  const VectorComputeMacro macro;
+  EXPECT_EQ(macro.channels(), 4u);
+  EXPECT_EQ(macro.weight_bits(), 3u);
+  EXPECT_EQ(macro.max_weight(), 7u);
+}
+
+TEST(VectorMacro, ZeroWeightsGiveNearZeroOutput) {
+  VectorComputeMacro macro;
+  macro.load_weights({0, 0, 0, 0});
+  const auto result = macro.multiply({1.0, 1.0, 1.0, 1.0});
+  // Only extinction-floor leakage remains.
+  EXPECT_LT(result.normalized, 0.02);
+}
+
+TEST(VectorMacro, FullScaleIsUnity) {
+  VectorComputeMacro macro;
+  macro.load_weights({7, 7, 7, 7});
+  const auto result = macro.multiply({1.0, 1.0, 1.0, 1.0});
+  EXPECT_NEAR(result.normalized, 1.0, 1e-9);  // self-calibrated
+}
+
+TEST(VectorMacro, ZeroInputGivesNearZero) {
+  VectorComputeMacro macro;
+  macro.load_weights({7, 7, 7, 7});
+  const auto result = macro.multiply({0.0, 0.0, 0.0, 0.0});
+  EXPECT_LT(result.normalized, 0.01);  // encoder extinction floor only
+}
+
+class OneBitProducts
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(OneBitProducts, BinaryWeightVectorsActAsMasks) {
+  const auto [w0, w1, w2, w3] = GetParam();
+  VectorMacroConfig config;
+  config.weight_bits = 1;
+  VectorComputeMacro macro(config);
+  macro.load_weights({static_cast<std::uint32_t>(w0),
+                      static_cast<std::uint32_t>(w1),
+                      static_cast<std::uint32_t>(w2),
+                      static_cast<std::uint32_t>(w3)});
+  const std::vector<double> in{1.0, 1.0, 1.0, 1.0};
+  const auto result = macro.multiply(in);
+  const double expected = macro.ideal_normalized(in);
+  EXPECT_NEAR(result.normalized, expected, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMasks, OneBitProducts,
+    ::testing::Values(std::make_tuple(0, 0, 0, 0), std::make_tuple(1, 0, 0, 0),
+                      std::make_tuple(0, 1, 0, 0), std::make_tuple(0, 0, 1, 0),
+                      std::make_tuple(0, 0, 0, 1), std::make_tuple(1, 1, 0, 0),
+                      std::make_tuple(1, 0, 1, 0), std::make_tuple(0, 1, 0, 1),
+                      std::make_tuple(1, 1, 1, 1)));
+
+class WeightSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WeightSweep, SingleChannelWeightScaling) {
+  // Channel 0 carries the weight under test; all inputs on channel 0 only.
+  const std::uint32_t w = GetParam();
+  VectorComputeMacro macro;
+  macro.load_weights({w, 0, 0, 0});
+  const std::vector<double> in{1.0, 0.0, 0.0, 0.0};
+  const auto result = macro.multiply(in);
+  EXPECT_NEAR(result.normalized, macro.ideal_normalized(in), 0.015)
+      << "weight " << w;
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, WeightSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7));
+
+TEST(VectorMacro, MixedVectorAgainstIdeal) {
+  VectorComputeMacro macro;
+  macro.load_weights({7, 3, 5, 1});
+  const std::vector<double> in{1.0, 0.5, 0.25, 0.8};
+  const auto result = macro.multiply(in);
+  EXPECT_NEAR(result.normalized, macro.ideal_normalized(in), 0.01);
+}
+
+TEST(VectorMacro, LinearityAcrossInputScale) {
+  // Fig. 7's core claim: the normalized photocurrent tracks the ideal
+  // vector product linearly.
+  VectorComputeMacro macro;
+  macro.load_weights({6, 2, 7, 4});
+  std::vector<double> ideals, measured;
+  for (double scale = 0.0; scale <= 1.0; scale += 0.05) {
+    const std::vector<double> in{scale, scale * 0.7, scale * 0.4, scale};
+    ideals.push_back(macro.ideal_normalized(in));
+    measured.push_back(macro.multiply(in).normalized);
+  }
+  const auto fit = ptc::linear_fit(ideals, measured);
+  EXPECT_GT(fit.r_squared, 0.999);
+  EXPECT_NEAR(fit.slope, 1.0, 0.05);
+}
+
+TEST(VectorMacro, PerBitCurrentsAreBinaryWeighted) {
+  VectorComputeMacro macro;
+  macro.load_weights({7, 7, 7, 7});  // all bits set
+  const auto result = macro.multiply({1.0, 1.0, 1.0, 1.0});
+  ASSERT_EQ(result.per_bit_current.size(), 3u);
+  // MSB row carries IN/2, next IN/4, LSB IN/8 -> 2:1 ratios between rows,
+  // times the 0.1 dB excess loss of the extra splitter stage (x1.0233).
+  const double expected_ratio = 2.0 * std::pow(10.0, 0.01);
+  EXPECT_NEAR(result.per_bit_current[0] / result.per_bit_current[1],
+              expected_ratio, 0.01);
+  EXPECT_NEAR(result.per_bit_current[1] / result.per_bit_current[2],
+              expected_ratio, 0.01);
+}
+
+TEST(VectorMacro, CrosstalkOnOtherChannelsIsSmall) {
+  VectorComputeMacro macro;
+  // Channel 0's ring on resonance; channels 1..3 pass nearly intact.  The
+  // chain includes each channel's *own* off-state ring (~0.97 insertion),
+  // so the crosstalk added by the resonant ring 0 must be the small part.
+  macro.load_weights({0, 7, 7, 7});
+  for (std::size_t ch = 1; ch < 4; ++ch) {
+    for (unsigned row = 0; row < 3; ++row) {
+      EXPECT_GT(macro.chain_transmission(row, ch), 0.95)
+          << "row " << row << " channel " << ch;
+    }
+  }
+  // Isolate ring 0's contribution: with all weights passing, the chain
+  // changes by well under 1% when ring 0 goes on resonance.
+  const double before = macro.chain_transmission(0, 1);
+  macro.load_weights({7, 7, 7, 7});
+  const double after = macro.chain_transmission(0, 1);
+  EXPECT_NEAR(before / after, 1.0, 0.01);
+}
+
+TEST(VectorMacro, WdmChannelsComputeIndependently) {
+  VectorComputeMacro macro;
+  macro.load_weights({7, 7, 0, 0});
+  // Only channel 1 illuminated: result equals channel 1's share.
+  const std::vector<double> in{0.0, 1.0, 0.0, 0.0};
+  const auto result = macro.multiply(in);
+  EXPECT_NEAR(result.normalized, macro.ideal_normalized(in), 0.015);
+}
+
+TEST(VectorMacro, CombWallPower) {
+  const VectorComputeMacro macro;
+  // 4 lines x 2.2 mW / 0.23.
+  EXPECT_NEAR(macro.comb_wall_power() * 1e3, 38.26, 0.1);
+}
+
+TEST(VectorMacro, RejectsBadUsage) {
+  VectorComputeMacro macro;
+  EXPECT_THROW(macro.load_weights({1, 2}), std::invalid_argument);
+  EXPECT_THROW(macro.load_weights({8, 0, 0, 0}), std::invalid_argument);
+  macro.load_weights({1, 1, 1, 1});
+  EXPECT_THROW(macro.multiply({1.0}), std::invalid_argument);
+  EXPECT_THROW(macro.multiply({2.0, 0.0, 0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(VectorMacro, FiveBitPrecisionStillLinear) {
+  VectorMacroConfig config;
+  config.weight_bits = 5;
+  VectorComputeMacro macro(config);
+  macro.load_weights({31, 17, 9, 25});
+  const std::vector<double> in{0.9, 0.3, 0.6, 0.1};
+  EXPECT_NEAR(macro.multiply(in).normalized, macro.ideal_normalized(in), 0.01);
+}
+
+}  // namespace
