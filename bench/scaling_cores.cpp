@@ -1,0 +1,95 @@
+// Multi-tile scaling study: strong and weak scaling of the accelerator
+// runtime over 1-16 photonic tensor cores on a batched matmul workload.
+//
+// All scaling numbers are *modeled hardware time* (8 GS/s ADC windows,
+// 20 GHz pSRAM reloads) so they measure the tile scheduler's ability to
+// keep a fleet of cores fed — they are deterministic and independent of
+// host thread count.  Host wall time is reported alongside to show the
+// thread pool at work.
+#include <chrono>
+#include <iostream>
+
+#include "common/random_matrix.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "runtime/accelerator.hpp"
+
+namespace {
+
+using namespace ptc;
+
+double wall_ms(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace ptc::runtime;
+
+  Rng rng(2026);
+  // 128x128 weights = 64 pSRAM tiles; every tile residency streams the full
+  // input batch, so one matmul is 64 equal passes to spread across cores.
+  const Matrix w = random_signed(128, 128, rng);
+  const Matrix x = random_activations(32, 128, rng);
+  const std::size_t core_counts[] = {1, 2, 4, 8, 16};
+
+  std::cout << "strong scaling: fixed batched matmul (32 x 128) * (128 x 128),"
+            << " 64 weight tiles\n\n";
+  TablePrinter strong({"cores", "modeled makespan", "aggregate TOPS",
+                       "speedup", "efficiency", "utilization", "TOPS/W",
+                       "host wall [ms]"});
+  double t1 = 0.0;
+  double speedup_at_8 = 0.0;
+  for (const std::size_t cores : core_counts) {
+    Accelerator accelerator({.cores = cores});
+    const auto t0 = std::chrono::steady_clock::now();
+    accelerator.matmul(x, w);
+    const double wall = wall_ms(t0);
+    const AcceleratorStats stats = accelerator.stats();
+    if (cores == 1) t1 = stats.makespan;
+    const double speedup = t1 / stats.makespan;
+    if (cores == 8) speedup_at_8 = speedup;
+    strong.add_row({std::to_string(cores),
+                    units::si_format(stats.makespan, "s"),
+                    TablePrinter::num(stats.throughput_ops() / 1e12, 4),
+                    TablePrinter::num(speedup, 4),
+                    TablePrinter::num(speedup / static_cast<double>(cores), 4),
+                    TablePrinter::num(stats.utilization(), 4),
+                    TablePrinter::num(stats.tops_per_watt() / 1e12, 4),
+                    TablePrinter::num(wall, 4)});
+  }
+  strong.print(std::cout);
+  std::cout << "\nspeedup at 8 cores vs 1 core: "
+            << TablePrinter::num(speedup_at_8, 4)
+            << "x (target: >= 6x)\n";
+
+  std::cout << "\nweak scaling: batch grows with the fleet (8 inputs per "
+               "core), same 128x128 weights\n\n";
+  TablePrinter weak({"cores", "batch", "modeled makespan", "aggregate TOPS",
+                     "speedup vs 1 core", "reload overhead"});
+  double weak_t1 = 0.0;
+  for (const std::size_t cores : core_counts) {
+    Accelerator accelerator({.cores = cores});
+    const Matrix xb = random_activations(8 * cores, 128, rng);
+    accelerator.matmul(xb, w);
+    const AcceleratorStats stats = accelerator.stats();
+    if (cores == 1) weak_t1 = stats.makespan;
+    weak.add_row({std::to_string(cores), std::to_string(8 * cores),
+                  units::si_format(stats.makespan, "s"),
+                  TablePrinter::num(stats.throughput_ops() / 1e12, 4),
+                  TablePrinter::num(weak_t1 / stats.makespan, 4),
+                  TablePrinter::num(100.0 * stats.reload_fraction(), 3) +
+                      " %"});
+  }
+  weak.print(std::cout);
+
+  std::cout << "\none 16x16 core peaks at 4.10 TOPS (paper Sec. IV-D); the "
+               "runtime's static tile schedule holds near-ideal efficiency "
+               "through 16 cores because every pass costs the same and the "
+               "batch amortizes each 20 GHz reload over 8 GS/s samples\n";
+  return 0;
+}

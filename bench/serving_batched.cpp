@@ -1,0 +1,67 @@
+// Serving-style batched inference on the multi-tile runtime: an 8-core
+// accelerator fleet serves a two-layer model under different request
+// batch sizes, exposing the latency/throughput/energy trade-off that
+// production batching policies navigate.
+//
+// Latency here is modeled hardware time per batch (reloads + ADC sample
+// windows on the critical-path core); throughput is requests per modeled
+// second across the fleet.
+#include <algorithm>
+#include <iostream>
+
+#include "common/random_matrix.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "runtime/accelerator.hpp"
+
+int main() {
+  using namespace ptc;
+  using namespace ptc::runtime;
+
+  constexpr std::size_t kCores = 8;
+  Rng rng(777);
+  // A 128 -> 64 -> 10 classifier: 32 + 4 weight tiles per request batch.
+  const Matrix w1 = random_signed(128, 64, rng);
+  const Matrix w2 = random_signed(64, 10, rng);
+
+  std::cout << "serving-style batched inference: " << kCores
+            << "-core fleet, 128-64-10 model, quantized eoADC readout\n\n";
+
+  TablePrinter table({"batch", "latency/batch", "latency/request",
+                      "requests/s", "fleet TOPS", "utilization",
+                      "reload share", "energy/request"});
+  for (const std::size_t batch : {1, 4, 16, 64}) {
+    Accelerator accelerator({.cores = kCores});
+    const Matrix x = random_activations(batch, 128, rng);
+
+    const Matrix h = accelerator.matmul(x, w1);
+    Matrix h_relu = h;
+    for (double& v : h_relu.data()) v = std::max(0.0, v);
+    accelerator.matmul(h_relu, w2);
+
+    const AcceleratorStats stats = accelerator.stats();
+    const double latency = stats.makespan;
+    const double per_request = latency / static_cast<double>(batch);
+    table.add_row(
+        {std::to_string(batch), units::si_format(latency, "s"),
+         units::si_format(per_request, "s"),
+         units::si_format(static_cast<double>(batch) / latency, "req/s"),
+         TablePrinter::num(stats.throughput_ops() / 1e12, 4),
+         TablePrinter::num(stats.utilization(), 4),
+         TablePrinter::num(100.0 * stats.reload_fraction(), 3) + " %",
+         units::si_format(stats.energy / static_cast<double>(batch), "J")});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nsmall batches are reload-bound (each of the 36 weight "
+               "tiles serves few samples); larger batches amortize the "
+               "20 GHz pSRAM reloads over more 8 GS/s compute windows, "
+               "multiplying fleet throughput at the cost of per-batch "
+               "latency — the classic serving batching curve, with the "
+               "reload/compute split the paper's weight-streaming argument "
+               "predicts (energy per request stays flat: the ledger is "
+               "dominated by static power over the fixed per-request sample "
+               "count)\n";
+  return 0;
+}

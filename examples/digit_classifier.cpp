@@ -10,6 +10,8 @@
 #include "nn/backend.hpp"
 #include "nn/dataset.hpp"
 #include "nn/mlp.hpp"
+#include "runtime/accelerator.hpp"
+#include "runtime/backend.hpp"
 
 int main() {
   using namespace ptc;
@@ -61,7 +63,26 @@ int main() {
                  TablePrinter::num(
                      100.0 * mlp.accuracy(photonic_quantized, test), 4) +
                      " %"});
+
+  // The same MLP on a 4-core accelerator fleet, unchanged: the backend
+  // interface hides the tile scheduler, and with identical dies the
+  // accuracy matches the single core bit for bit.
+  runtime::Accelerator accelerator({.cores = 4});
+  runtime::AcceleratorBackend accelerated(accelerator, quantized);
+  table.add_row({"4-core accelerator runtime", "3-bit pSRAM",
+                 "3-bit 1-hot eoADC",
+                 TablePrinter::num(
+                     100.0 * mlp.accuracy(accelerated, test), 4) +
+                     " %"});
   table.print(std::cout);
+
+  const auto fleet = accelerator.stats();
+  std::cout << "\nfleet: " << fleet.cores << " cores, "
+            << fleet.tile_loads << " tile residencies, modeled speedup "
+            << TablePrinter::num(fleet.busy_time / fleet.makespan, 3)
+            << "x over one core at "
+            << TablePrinter::num(100.0 * fleet.utilization(), 3)
+            << " % utilization\n";
 
   std::cout << "\nweight tiles streamed through the pSRAM: "
             << photonic_quantized.tile_loads() << " loads, total reload time "

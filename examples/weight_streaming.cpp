@@ -8,10 +8,12 @@
 #include <iostream>
 
 #include "baseline/pcm_crossbar.hpp"
+#include "common/random_matrix.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/tensor_core.hpp"
+#include "runtime/accelerator.hpp"
 
 int main() {
   using namespace ptc;
@@ -86,5 +88,23 @@ int main() {
                "single-digit-percent level (and it amortizes further with "
                "batch size) — the paper's core argument for photonic SRAM "
                "over PCM weights\n";
+
+  // Scale-out: the same streamed matmul on an 8-core accelerator fleet —
+  // the tile scheduler spreads the 64 residencies across cores, dividing
+  // the modeled streaming time by the fleet size.
+  runtime::Accelerator accelerator({.cores = 8});
+  const Matrix x = random_activations(batch, big, rng);
+  const Matrix w = random_signed(big, big, rng);
+  accelerator.matmul(x, w);
+  const auto fleet = accelerator.stats();
+  std::cout << "\nsame " << big << "x" << big << " workload on an 8-core "
+            << "accelerator runtime: " << fleet.tile_loads
+            << " tile residencies, modeled makespan "
+            << units::si_format(fleet.makespan, "s") << " vs "
+            << units::si_format(fleet.busy_time, "s")
+            << " single-core ("
+            << TablePrinter::num(fleet.busy_time / fleet.makespan, 3)
+            << "x), utilization "
+            << TablePrinter::num(100.0 * fleet.utilization(), 3) << " %\n";
   return 0;
 }

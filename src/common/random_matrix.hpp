@@ -1,0 +1,31 @@
+#ifndef PTC_COMMON_RANDOM_MATRIX_HPP
+#define PTC_COMMON_RANDOM_MATRIX_HPP
+
+#include <cstddef>
+
+#include "common/linalg.hpp"
+#include "common/rng.hpp"
+
+/// Canonical random matmul workloads shared by the runtime tests and the
+/// scaling/serving benches, so "the same workload" means the same fill
+/// convention everywhere.
+namespace ptc {
+
+/// Non-negative activation matrix: entries uniform in [0, 1).
+inline Matrix random_activations(std::size_t rows, std::size_t cols,
+                                 Rng& rng) {
+  Matrix x(rows, cols);
+  for (double& v : x.data()) v = rng.uniform();
+  return x;
+}
+
+/// Signed weight matrix: entries uniform in [-1, 1).
+inline Matrix random_signed(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix w(rows, cols);
+  for (double& v : w.data()) v = rng.uniform(-1.0, 1.0);
+  return w;
+}
+
+}  // namespace ptc
+
+#endif  // PTC_COMMON_RANDOM_MATRIX_HPP

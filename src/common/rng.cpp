@@ -72,6 +72,16 @@ bool Rng::bernoulli(double p) {
   return uniform() < p;
 }
 
+Rng Rng::split(std::uint64_t stream) const {
+  // Fold the full parent state with the stream id, then scramble: the Rng
+  // constructor runs the result through SplitMix64 again to fill the child
+  // state, so even adjacent stream ids land in unrelated state space.
+  std::uint64_t s = state_[0] ^ rotl(state_[1], 13) ^ rotl(state_[2], 29) ^
+                    rotl(state_[3], 47) ^
+                    (0x9e3779b97f4a7c15ull * (stream + 1));
+  return Rng(splitmix64(s));
+}
+
 std::uint64_t Rng::below(std::uint64_t n) {
   expects(n > 0, "below() requires n > 0");
   // Rejection sampling to avoid modulo bias.

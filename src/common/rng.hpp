@@ -7,6 +7,13 @@
 /// and Monte-Carlo variation analysis.  We implement xoshiro256** rather than
 /// relying on std::mt19937 so that simulation results are bit-reproducible
 /// across standard library implementations.
+///
+/// Threading contract: an Rng instance is NOT thread-safe and must never be
+/// shared across threads.  Under the runtime thread pool, give each core /
+/// worker / trial its own child stream via split(): children derived from
+/// the same parent state with the same stream id are identical on every
+/// platform and independent of host scheduling, so Monte-Carlo variation
+/// runs stay bit-reproducible no matter how many threads execute them.
 namespace ptc {
 
 /// xoshiro256** generator (Blackman & Vigna), seeded via SplitMix64.
@@ -36,6 +43,15 @@ class Rng {
 
   /// Uniform integer in [0, n).  Requires n > 0.
   std::uint64_t below(std::uint64_t n);
+
+  /// Derives an independent child generator for stream `stream` (e.g. a
+  /// core id or trial index) without advancing this generator.  The child
+  /// is a pure function of the parent's current state and the stream id:
+  /// equal (parent state, stream) pairs give bit-identical child sequences
+  /// on every platform, and distinct streams are decorrelated through a
+  /// SplitMix64 scramble.  This is the seeding discipline for per-thread /
+  /// per-core randomness under the runtime ThreadPool.
+  Rng split(std::uint64_t stream) const;
 
  private:
   std::uint64_t state_[4];

@@ -1,11 +1,7 @@
 #include "nn/backend.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <functional>
-
 #include "common/expects.hpp"
-#include "nn/quant.hpp"
+#include "nn/tiling.hpp"
 
 namespace ptc::nn {
 
@@ -18,100 +14,18 @@ PhotonicBackend::PhotonicBackend(core::TensorCore& core,
     : core_(core), options_(options) {}
 
 Matrix PhotonicBackend::matmul(const Matrix& x, const Matrix& w) {
-  expects(x.cols() == w.rows(), "matmul inner dimensions must agree");
-  const std::size_t samples = x.rows();
-  const std::size_t k = w.rows();
-  const std::size_t m = w.cols();
-  const std::size_t tile_k = core_.cols();   // inputs per tile
-  const std::size_t tile_m = core_.rows();   // outputs per tile
-
-  // Normalize activations to [0, 1] and remember the scale.
   Matrix x_norm = x;
-  const double x_scale = normalize_activations(x_norm);
+  const TilePlan plan =
+      plan_tiled_matmul(x_norm, w, core_.rows(), core_.cols(),
+                        options_.differential_weights);
 
-  // Offset-encode signed weights into [0, 1].
-  const SignedMapping mapping = signed_mapping_for(w);
-
-  Matrix y(samples, m, 0.0);
-  const std::size_t k_tiles = (k + tile_k - 1) / tile_k;
-  const std::size_t m_tiles = (m + tile_m - 1) / tile_m;
-
-  // Runs one pass over a weight block given a unit-encoder for the block
-  // entries, accumulating `sign * scale * dot` into y.
-  auto run_pass = [&](std::size_t mt, std::size_t kt,
-                      const std::function<double(double)>& encode,
-                      double pad_value, double sign, bool offset_correct) {
-    Matrix block(tile_m, tile_k, pad_value);
-    for (std::size_t r = 0; r < tile_m; ++r) {
-      const std::size_t out_idx = mt * tile_m + r;
-      if (out_idx >= m) continue;
-      for (std::size_t c = 0; c < tile_k; ++c) {
-        const std::size_t in_idx = kt * tile_k + c;
-        if (in_idx >= k) continue;
-        block(r, c) = encode(w(in_idx, out_idx));
-      }
-    }
-    reload_time_ += core_.load_weights_normalized(block);
+  Matrix y(plan.samples, plan.m, 0.0);
+  for (const TilePass& pass : plan.passes) {
+    const TilePassResult result =
+        run_tile_pass(core_, plan, pass, x_norm, w, options_);
+    accumulate_pass(y, plan, pass, result.contribution);
+    reload_time_ += result.reload_time;
     ++tile_loads_;
-
-    for (std::size_t s = 0; s < samples; ++s) {
-      std::vector<double> input(tile_k, 0.0);
-      double input_sum = 0.0;
-      for (std::size_t c = 0; c < tile_k; ++c) {
-        const std::size_t in_idx = kt * tile_k + c;
-        if (in_idx < k) {
-          input[c] = x_norm(s, in_idx);
-          input_sum += input[c];
-        }
-      }
-      // Row value t_r ~= sum_c in_c * w_unit_rc / tile_k (normalized).
-      std::vector<double> t(core_.rows());
-      if (options_.quantize_output) {
-        core_.set_readout_gain(options_.adc_range_gain);
-        const auto codes = core_.multiply(input);
-        core_.set_readout_gain(1.0);
-        const double max_code =
-            static_cast<double>((1u << core_.adc(0).bits()) - 1);
-        for (std::size_t r = 0; r < t.size(); ++r) {
-          t[r] = static_cast<double>(codes[r]) / max_code /
-                 options_.adc_range_gain;
-        }
-      } else {
-        t = core_.multiply_analog(input);
-      }
-      for (std::size_t r = 0; r < tile_m; ++r) {
-        const std::size_t out_idx = mt * tile_m + r;
-        if (out_idx >= m) continue;
-        const double unit_dot = t[r] * static_cast<double>(tile_k);
-        // Offset encoding: sum w * in = scale * (2 * unit_dot - sum in).
-        // Differential encoding: the pass directly yields scale * unit_dot.
-        const double dot = offset_correct
-                               ? mapping.scale * (2.0 * unit_dot - input_sum)
-                               : mapping.scale * unit_dot;
-        y(s, out_idx) += sign * x_scale * dot;
-      }
-    }
-  };
-
-  for (std::size_t mt = 0; mt < m_tiles; ++mt) {
-    for (std::size_t kt = 0; kt < k_tiles; ++kt) {
-      if (options_.differential_weights) {
-        // W+ pass then W- pass; padded cells are exact zeros.
-        run_pass(
-            mt, kt,
-            [&](double v) { return std::max(0.0, v) / mapping.scale; }, 0.0,
-            +1.0, false);
-        run_pass(
-            mt, kt,
-            [&](double v) { return std::max(0.0, -v) / mapping.scale; }, 0.0,
-            -1.0, false);
-      } else {
-        // Offset encoding; padded cells carry the encoding of w = 0 (0.5)
-        // but see zero input, so they contribute nothing.
-        run_pass(mt, kt, [&](double v) { return mapping.to_unit(v); }, 0.5,
-                 +1.0, true);
-      }
-    }
   }
   return y;
 }

@@ -1,0 +1,137 @@
+#include "nn/tiling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace ptc::nn {
+
+TilePlan plan_tiled_matmul(Matrix& x, const Matrix& w, std::size_t tile_m,
+                           std::size_t tile_k, bool differential) {
+  expects(x.cols() == w.rows(), "matmul inner dimensions must agree");
+  expects(tile_m >= 1 && tile_k >= 1, "tile geometry must be positive");
+
+  TilePlan plan;
+  plan.samples = x.rows();
+  plan.k = w.rows();
+  plan.m = w.cols();
+  plan.tile_k = tile_k;
+  plan.tile_m = tile_m;
+  plan.x_scale = normalize_activations(x);
+  plan.mapping = signed_mapping_for(w);
+
+  plan.passes.reserve(plan.m_tiles() * plan.k_tiles() *
+                      (differential ? 2 : 1));
+  for (std::size_t mt = 0; mt < plan.m_tiles(); ++mt) {
+    for (std::size_t kt = 0; kt < plan.k_tiles(); ++kt) {
+      if (differential) {
+        // W+ pass then W- pass; padded cells are exact zeros.
+        plan.passes.push_back(
+            {mt, kt, TilePass::Encoding::kPositive, +1.0, 0.0});
+        plan.passes.push_back(
+            {mt, kt, TilePass::Encoding::kNegative, -1.0, 0.0});
+      } else {
+        // Offset encoding; padded cells carry the encoding of w = 0 (0.5)
+        // but see zero input, so they contribute nothing.
+        plan.passes.push_back(
+            {mt, kt, TilePass::Encoding::kOffset, +1.0, 0.5});
+      }
+    }
+  }
+  return plan;
+}
+
+Matrix encode_weight_block(const TilePlan& plan, const TilePass& pass,
+                           const Matrix& w) {
+  Matrix block(plan.tile_m, plan.tile_k, pass.pad_value);
+  for (std::size_t r = 0; r < plan.tile_m; ++r) {
+    const std::size_t out_idx = pass.mt * plan.tile_m + r;
+    if (out_idx >= plan.m) continue;
+    for (std::size_t c = 0; c < plan.tile_k; ++c) {
+      const std::size_t in_idx = pass.kt * plan.tile_k + c;
+      if (in_idx >= plan.k) continue;
+      const double v = w(in_idx, out_idx);
+      switch (pass.encoding) {
+        case TilePass::Encoding::kOffset:
+          block(r, c) = plan.mapping.to_unit(v);
+          break;
+        case TilePass::Encoding::kPositive:
+          block(r, c) = std::max(0.0, v) / plan.mapping.scale;
+          break;
+        case TilePass::Encoding::kNegative:
+          block(r, c) = std::max(0.0, -v) / plan.mapping.scale;
+          break;
+      }
+    }
+  }
+  return block;
+}
+
+TilePassResult run_tile_pass(core::TensorCore& core, const TilePlan& plan,
+                             const TilePass& pass, const Matrix& x_norm,
+                             const Matrix& w,
+                             const PhotonicBackendOptions& options) {
+  expects(core.rows() == plan.tile_m && core.cols() == plan.tile_k,
+          "core geometry must match the tile plan");
+
+  TilePassResult result;
+  result.reload_time =
+      core.load_weights_normalized(encode_weight_block(plan, pass, w));
+  result.contribution = Matrix(plan.samples, plan.tile_m, 0.0);
+
+  const bool offset_correct = pass.encoding == TilePass::Encoding::kOffset;
+  for (std::size_t s = 0; s < plan.samples; ++s) {
+    std::vector<double> input(plan.tile_k, 0.0);
+    double input_sum = 0.0;
+    for (std::size_t c = 0; c < plan.tile_k; ++c) {
+      const std::size_t in_idx = pass.kt * plan.tile_k + c;
+      if (in_idx < plan.k) {
+        input[c] = x_norm(s, in_idx);
+        input_sum += input[c];
+      }
+    }
+    // Row value t_r ~= sum_c in_c * w_unit_rc / tile_k (normalized).
+    std::vector<double> t(core.rows());
+    if (options.quantize_output) {
+      core.set_readout_gain(options.adc_range_gain);
+      const auto codes = core.multiply(input);
+      core.set_readout_gain(1.0);
+      const double max_code =
+          static_cast<double>((1u << core.adc(0).bits()) - 1);
+      for (std::size_t r = 0; r < t.size(); ++r) {
+        t[r] = static_cast<double>(codes[r]) / max_code /
+               options.adc_range_gain;
+      }
+    } else {
+      t = core.multiply_analog(input);
+    }
+    for (std::size_t r = 0; r < plan.tile_m; ++r) {
+      const std::size_t out_idx = pass.mt * plan.tile_m + r;
+      if (out_idx >= plan.m) continue;
+      const double unit_dot = t[r] * static_cast<double>(plan.tile_k);
+      // Offset encoding: sum w * in = scale * (2 * unit_dot - sum in).
+      // Differential encoding: the pass directly yields scale * unit_dot.
+      const double dot = offset_correct
+                             ? plan.mapping.scale * (2.0 * unit_dot - input_sum)
+                             : plan.mapping.scale * unit_dot;
+      result.contribution(s, r) = pass.sign * plan.x_scale * dot;
+    }
+  }
+  return result;
+}
+
+void accumulate_pass(Matrix& y, const TilePlan& plan, const TilePass& pass,
+                     const Matrix& contribution) {
+  expects(y.rows() == plan.samples && y.cols() == plan.m,
+          "result shape must match the tile plan");
+  for (std::size_t s = 0; s < plan.samples; ++s) {
+    for (std::size_t r = 0; r < plan.tile_m; ++r) {
+      const std::size_t out_idx = pass.mt * plan.tile_m + r;
+      if (out_idx >= plan.m) continue;
+      y(s, out_idx) += contribution(s, r);
+    }
+  }
+}
+
+}  // namespace ptc::nn

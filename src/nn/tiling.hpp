@@ -1,0 +1,92 @@
+#ifndef PTC_NN_TILING_HPP
+#define PTC_NN_TILING_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/linalg.hpp"
+#include "core/tensor_core.hpp"
+#include "nn/backend.hpp"
+#include "nn/quant.hpp"
+
+/// Matmul tiling shared by the single-core PhotonicBackend and the
+/// multi-core runtime::Accelerator.
+///
+/// An (s x k) * (k x m) matmul decomposes into *passes*: one pSRAM residency
+/// of one rows x cols weight block during which the whole input batch is
+/// streamed through the core (the schedule that amortizes each 20 GHz
+/// optical reload over the maximum number of 8 GS/s compute samples).
+/// Every pass is independent of core state left by other passes, so passes
+/// can execute on any core of an identical-device pool; summing the per-pass
+/// contribution matrices in the canonical `TilePlan::passes` order
+/// reproduces the sequential single-core accumulation bit for bit — the
+/// determinism contract the runtime's tests pin down.
+namespace ptc::nn {
+
+/// One weight-block residency.
+struct TilePass {
+  std::size_t mt = 0;  ///< output (column-of-w) tile index
+  std::size_t kt = 0;  ///< inner (row-of-w) tile index
+  /// How signed weights map onto the unsigned optical domain for this pass.
+  enum class Encoding {
+    kOffset,    ///< w -> (w/scale + 1)/2 with digital -sum(x) correction
+    kPositive,  ///< differential W+ pass: max(0, w) / scale
+    kNegative,  ///< differential W- pass: max(0, -w) / scale
+  };
+  Encoding encoding = Encoding::kOffset;
+  double sign = 1.0;       ///< contribution sign (-1 for the W- pass)
+  double pad_value = 0.5;  ///< encoding of the padding cells at tile edges
+};
+
+/// Full decomposition of one matmul.  `passes` is in canonical order:
+/// mt-major, kt-minor, with the differential W+ pass preceding W-.
+struct TilePlan {
+  std::size_t samples = 0;  ///< s: input vectors in the batch
+  std::size_t k = 0;        ///< inner dimension
+  std::size_t m = 0;        ///< output dimension
+  std::size_t tile_k = 0;   ///< core cols (inputs per tile)
+  std::size_t tile_m = 0;   ///< core rows (outputs per tile)
+  double x_scale = 1.0;     ///< activation normalization scale
+  SignedMapping mapping{};  ///< signed-weight mapping for the whole tensor
+  std::vector<TilePass> passes;
+
+  std::size_t k_tiles() const { return (k + tile_k - 1) / tile_k; }
+  std::size_t m_tiles() const { return (m + tile_m - 1) / tile_m; }
+};
+
+/// Builds the plan for x (s x k) times w (k x m) on cores with tile_m rows
+/// and tile_k cols.  `x` is normalized to [0, 1] in place (the scale is
+/// recorded in the plan).  `differential` selects the two-pass W+/W-
+/// encoding over the single-pass offset encoding.
+TilePlan plan_tiled_matmul(Matrix& x, const Matrix& w, std::size_t tile_m,
+                           std::size_t tile_k, bool differential);
+
+/// Encodes the (tile_m x tile_k) weight block of `pass` into [0, 1] unit
+/// weights, padding out-of-range cells with the pass pad value.
+Matrix encode_weight_block(const TilePlan& plan, const TilePass& pass,
+                           const Matrix& w);
+
+/// Output of one pass: the signed, scaled contribution of this weight block
+/// to the result, plus the modeled pSRAM reload latency it cost.
+struct TilePassResult {
+  Matrix contribution;      ///< samples x tile_m
+  double reload_time = 0.0; ///< [s]
+};
+
+/// Runs one pass on `core`: loads the encoded weight block, streams the
+/// whole normalized batch through it, and returns the contribution matrix.
+/// Only the executing core's state is touched.
+TilePassResult run_tile_pass(core::TensorCore& core, const TilePlan& plan,
+                             const TilePass& pass, const Matrix& x_norm,
+                             const Matrix& w,
+                             const PhotonicBackendOptions& options);
+
+/// Adds a pass contribution into the result matrix y (samples x m).
+/// Accumulating in canonical pass order is bit-identical to the sequential
+/// single-core loop.
+void accumulate_pass(Matrix& y, const TilePlan& plan, const TilePass& pass,
+                     const Matrix& contribution);
+
+}  // namespace ptc::nn
+
+#endif  // PTC_NN_TILING_HPP

@@ -1,0 +1,125 @@
+#include "runtime/accelerator.hpp"
+
+#include <algorithm>
+
+#include "common/expects.hpp"
+#include "common/rng.hpp"
+#include "nn/tiling.hpp"
+
+namespace ptc::runtime {
+
+Accelerator::Accelerator(const AcceleratorConfig& config)
+    : config_(config),
+      pool_(config.threads != 0 ? config.threads
+                                : std::max<std::size_t>(config.cores, 1)) {
+  expects(config_.cores >= 1, "accelerator needs at least one core");
+
+  Rng variation(config_.variation_seed);
+  cores_.reserve(config_.cores);
+  for (std::size_t i = 0; i < config_.cores; ++i) {
+    core::TensorCoreConfig core_config = config_.core;
+    if (config_.variation_seed != 0) {
+      // Independent, reproducible per-die variation stream (see rng.hpp).
+      core_config.adc.mismatch_seed = variation.split(i).next_u64();
+    }
+    cores_.push_back(std::make_unique<core::TensorCore>(core_config));
+  }
+
+  core::TensorCore& probe = *cores_.front();
+  sample_rate_ = probe.adc(0).sample_rate();
+  // Full-tile reload: every row writes in parallel, cols * bits slots each.
+  reload_latency_ = static_cast<double>(probe.cols()) *
+                    static_cast<double>(probe.weight_bits()) /
+                    probe.weight_update_rate();
+
+  stats_.cores = cores_.size();
+  stats_.core_busy.assign(cores_.size(), 0.0);
+}
+
+core::TensorCore& Accelerator::core(std::size_t index) {
+  expects(index < cores_.size(), "core index out of range");
+  return *cores_[index];
+}
+
+const core::TensorCore& Accelerator::core(std::size_t index) const {
+  expects(index < cores_.size(), "core index out of range");
+  return *cores_[index];
+}
+
+PassCost Accelerator::pass_cost(std::size_t samples) const {
+  PassCost cost;
+  cost.reload_s = reload_latency_;
+  cost.compute_s = static_cast<double>(samples) / sample_rate_;
+  return cost;
+}
+
+Matrix Accelerator::matmul(const Matrix& x, const Matrix& w,
+                           const nn::PhotonicBackendOptions& options) {
+  core::TensorCore& front = *cores_.front();
+  Matrix x_norm = x;
+  const nn::TilePlan plan = nn::plan_tiled_matmul(
+      x_norm, w, front.rows(), front.cols(), options.differential_weights);
+
+  const Schedule schedule =
+      TileScheduler::assign(plan, cores_.size(), pass_cost(plan.samples));
+
+  // Each shard runs its passes on its own core; results land in disjoint
+  // slots, so the only synchronization needed is the parallel_for barrier.
+  std::vector<nn::TilePassResult> results(plan.passes.size());
+  pool_.parallel_for(0, schedule.shards.size(), [&](std::size_t s) {
+    const CoreShard& shard = schedule.shards[s];
+    core::TensorCore& shard_core = *cores_[shard.core];
+    for (std::size_t index : shard.pass_indices) {
+      results[index] = nn::run_tile_pass(shard_core, plan, plan.passes[index],
+                                         x_norm, w, options);
+    }
+  });
+
+  // Canonical-order reduction: bit-identical to the sequential single-core
+  // accumulation regardless of which core ran which pass.
+  Matrix y(plan.samples, plan.m, 0.0);
+  for (std::size_t i = 0; i < plan.passes.size(); ++i) {
+    accumulate_pass(y, plan, plan.passes[i], results[i].contribution);
+    stats_.reload_time += results[i].reload_time;
+  }
+
+  ++stats_.matmuls;
+  stats_.tile_loads += plan.passes.size();
+  stats_.samples += plan.passes.size() * plan.samples;
+  stats_.ops += front.ops_per_sample() *
+                static_cast<double>(plan.passes.size() * plan.samples);
+  stats_.makespan += schedule.makespan();
+  stats_.busy_time += schedule.total_busy();
+  for (const CoreShard& shard : schedule.shards) {
+    stats_.core_busy[shard.core] += shard.busy_time;
+  }
+  return y;
+}
+
+circuit::EnergyLedger Accelerator::fleet_ledger() const {
+  std::vector<const circuit::EnergyLedger*> ledgers;
+  ledgers.reserve(cores_.size());
+  for (const auto& c : cores_) ledgers.push_back(&c->ledger());
+  return merge_ledgers(ledgers);
+}
+
+double Accelerator::power() const {
+  double total = 0.0;
+  for (const auto& c : cores_) total += c->power();
+  return total;
+}
+
+AcceleratorStats Accelerator::stats() const {
+  AcceleratorStats out = stats_;
+  out.energy = fleet_ledger().total_energy();
+  out.fleet_power = power();
+  return out;
+}
+
+void Accelerator::reset_stats() {
+  stats_ = AcceleratorStats{};
+  stats_.cores = cores_.size();
+  stats_.core_busy.assign(cores_.size(), 0.0);
+}
+
+}  // namespace ptc::runtime

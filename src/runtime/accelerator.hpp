@@ -1,0 +1,86 @@
+#ifndef PTC_RUNTIME_ACCELERATOR_HPP
+#define PTC_RUNTIME_ACCELERATOR_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/linalg.hpp"
+#include "core/tensor_core.hpp"
+#include "nn/backend.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/tile_scheduler.hpp"
+
+/// Multi-tile accelerator runtime: one controller orchestrating a pool of
+/// photonic tensor cores, the scale-out counterpart of the paper's single
+/// 16x16 core (4.10 TOPS) — N cores give N x the aggregate throughput as
+/// long as the tile scheduler keeps them fed.
+namespace ptc::runtime {
+
+struct AcceleratorConfig {
+  /// Number of tensor cores in the pool.
+  std::size_t cores = 4;
+  /// Configuration shared by every core (geometry must be uniform so any
+  /// core can execute any tile pass).
+  core::TensorCoreConfig core{};
+  /// Host worker threads; 0 = one thread per core.
+  std::size_t threads = 0;
+  /// When nonzero, models per-die fabrication spread: core i's eoADC ladder
+  /// mismatch is seeded from Rng(variation_seed).split(i), giving each die
+  /// an independent, reproducible variation stream.  Takes effect through
+  /// core.adc.vref_mismatch_sigma.  When zero (default) all cores are
+  /// identical devices and accelerator results are bit-identical to a
+  /// single-core nn::PhotonicBackend.
+  std::uint64_t variation_seed = 0;
+};
+
+/// Determinism contract: matmul results depend only on (config, inputs) —
+/// the tile schedule is static and per-pass contributions are reduced in
+/// canonical order on the calling thread, so host thread interleaving can
+/// never change a single bit of the output.
+class Accelerator {
+ public:
+  explicit Accelerator(const AcceleratorConfig& config = {});
+
+  std::size_t core_count() const { return cores_.size(); }
+  core::TensorCore& core(std::size_t index);
+  const core::TensorCore& core(std::size_t index) const;
+  ThreadPool& pool() { return pool_; }
+  const AcceleratorConfig& config() const { return config_; }
+
+  /// Sharded matmul with nn::PhotonicBackend semantics: x (s x k) times
+  /// w (k x m), x non-negative, w signed.  Weight tiles are dispatched
+  /// across the core pool by the TileScheduler; each tile residency streams
+  /// the full input batch (minimizing pSRAM reloads).
+  Matrix matmul(const Matrix& x, const Matrix& w,
+                const nn::PhotonicBackendOptions& options = {});
+
+  /// Modeled hardware cost of one tile pass for a batch of `samples`.
+  PassCost pass_cost(std::size_t samples) const;
+
+  /// Fleet statistics accumulated since construction (or reset_stats()),
+  /// with energy/power drawn from the live per-core ledgers.
+  AcceleratorStats stats() const;
+
+  /// Merged per-core energy ledger.
+  circuit::EnergyLedger fleet_ledger() const;
+
+  /// Total fleet power draw [W].
+  double power() const;
+
+  void reset_stats();
+
+ private:
+  AcceleratorConfig config_;
+  std::vector<std::unique_ptr<core::TensorCore>> cores_;
+  ThreadPool pool_;
+  double sample_rate_ = 0.0;     ///< per-core ADC sample rate [Hz]
+  double reload_latency_ = 0.0;  ///< modeled full-tile reload latency [s]
+  AcceleratorStats stats_;
+};
+
+}  // namespace ptc::runtime
+
+#endif  // PTC_RUNTIME_ACCELERATOR_HPP

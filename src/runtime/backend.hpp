@@ -1,0 +1,37 @@
+#ifndef PTC_RUNTIME_BACKEND_HPP
+#define PTC_RUNTIME_BACKEND_HPP
+
+#include "nn/backend.hpp"
+#include "runtime/accelerator.hpp"
+
+/// Model-layer adapter for the multi-tile runtime: any network written
+/// against nn::MatmulBackend (nn::Mlp, the examples) runs on an N-core
+/// Accelerator unchanged.
+namespace ptc::runtime {
+
+/// nn::MatmulBackend that dispatches matmuls to an Accelerator core pool.
+/// With variation disabled (the default), results are bit-identical to a
+/// single-core nn::PhotonicBackend using the same options.
+class AcceleratorBackend final : public nn::MatmulBackend {
+ public:
+  explicit AcceleratorBackend(Accelerator& accelerator,
+                              const nn::PhotonicBackendOptions& options = {})
+      : accelerator_(accelerator), options_(options) {}
+
+  Matrix matmul(const Matrix& x, const Matrix& w) override {
+    return accelerator_.matmul(x, w, options_);
+  }
+
+  const char* name() const override { return "accelerator"; }
+
+  Accelerator& accelerator() { return accelerator_; }
+  const nn::PhotonicBackendOptions& options() const { return options_; }
+
+ private:
+  Accelerator& accelerator_;
+  nn::PhotonicBackendOptions options_;
+};
+
+}  // namespace ptc::runtime
+
+#endif  // PTC_RUNTIME_BACKEND_HPP

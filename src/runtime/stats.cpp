@@ -1,0 +1,20 @@
+#include "runtime/stats.hpp"
+
+namespace ptc::runtime {
+
+circuit::EnergyLedger merge_ledgers(
+    const std::vector<const circuit::EnergyLedger*>& ledgers) {
+  circuit::EnergyLedger merged;
+  for (const circuit::EnergyLedger* ledger : ledgers) {
+    if (!ledger) continue;
+    for (const auto& entry : ledger->entries()) {
+      if (entry.energy != 0.0) merged.add_energy(entry.category, entry.energy);
+      if (entry.static_power != 0.0) {
+        merged.add_static_power(entry.category, entry.static_power);
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace ptc::runtime

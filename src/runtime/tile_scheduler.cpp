@@ -1,0 +1,49 @@
+#include "runtime/tile_scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/expects.hpp"
+
+namespace ptc::runtime {
+
+double Schedule::makespan() const {
+  double worst = 0.0;
+  for (const CoreShard& shard : shards) {
+    worst = std::max(worst, shard.busy_time);
+  }
+  return worst;
+}
+
+double Schedule::total_busy() const {
+  double sum = 0.0;
+  for (const CoreShard& shard : shards) sum += shard.busy_time;
+  return sum;
+}
+
+Schedule TileScheduler::assign(const nn::TilePlan& plan, std::size_t cores,
+                               const PassCost& cost) {
+  expects(cores >= 1, "schedule needs at least one core");
+  expects(cost.total() >= 0.0, "pass cost must be non-negative");
+
+  Schedule schedule;
+  schedule.shards.resize(cores);
+  for (std::size_t c = 0; c < cores; ++c) schedule.shards[c].core = c;
+
+  // All passes cost the same here (same batch, same tile geometry), so the
+  // greedy degenerates to round-robin — but the least-loaded rule keeps the
+  // schedule balanced if per-pass costs ever diverge (e.g. partial edge
+  // tiles with early-out streaming).
+  for (std::size_t i = 0; i < plan.passes.size(); ++i) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < cores; ++c) {
+      if (schedule.shards[c].busy_time < schedule.shards[best].busy_time) {
+        best = c;
+      }
+    }
+    schedule.shards[best].pass_indices.push_back(i);
+    schedule.shards[best].busy_time += cost.total();
+  }
+  return schedule;
+}
+
+}  // namespace ptc::runtime

@@ -123,6 +123,36 @@ TEST(Sweep, OneAndTwoDimensional) {
   EXPECT_DOUBLE_EQ(grid[3].value, 22.0);
 }
 
+TEST(Sweep, ParallelVariantsMatchSequentialInGridOrder) {
+  runtime::ThreadPool pool(4);
+  const std::vector<double> grid{1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0};
+  auto metric = [](double x) { return x * x - 1.0; };
+  const auto seq = sweep_1d(grid, metric);
+  const auto par = sweep_1d_parallel(pool, grid, metric);
+  ASSERT_EQ(par.size(), seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_DOUBLE_EQ(par[i].parameter, seq[i].parameter);
+    EXPECT_DOUBLE_EQ(par[i].value, seq[i].value);
+  }
+
+  auto metric2 = [](double a, double b) { return a * 10.0 + b; };
+  const std::vector<double> ga{1.0, 2.0, 3.0};
+  const std::vector<double> gb{0.5, 0.25};
+  const auto seq2 = sweep_2d(ga, gb, metric2);
+  const auto par2 = sweep_2d_parallel(pool, ga, gb, metric2);
+  ASSERT_EQ(par2.size(), seq2.size());
+  for (std::size_t i = 0; i < seq2.size(); ++i) {
+    EXPECT_DOUBLE_EQ(par2[i].parameter_a, seq2[i].parameter_a);
+    EXPECT_DOUBLE_EQ(par2[i].parameter_b, seq2[i].parameter_b);
+    EXPECT_DOUBLE_EQ(par2[i].value, seq2[i].value);
+  }
+}
+
+TEST(Sweep, ParallelHandlesEmptyGrid) {
+  runtime::ThreadPool pool(2);
+  EXPECT_TRUE(sweep_1d_parallel(pool, {}, [](double x) { return x; }).empty());
+}
+
 TEST(MonteCarlo, DeterministicAndIndependent) {
   auto trial = [](Rng& rng) { return rng.normal(10.0, 2.0); };
   const auto a = run_monte_carlo(500, 42, trial);
