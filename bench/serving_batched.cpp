@@ -1,67 +1,106 @@
-// Serving-style batched inference on the multi-tile runtime: an 8-core
-// accelerator fleet serves a two-layer model under different request
-// batch sizes, exposing the latency/throughput/energy trade-off that
-// production batching policies navigate.
+// Serving-style batched inference, now driven through the serve-layer
+// subsystem: an open-loop Poisson request stream flows through the
+// RequestQueue -> DynamicBatcher -> 8-core Accelerator fleet, and the
+// latency/throughput/energy trade-off is measured per *request* (queueing
+// included) instead of per hand-fed batch.
 //
-// Latency here is modeled hardware time per batch (reloads + ADC sample
-// windows on the critical-path core); throughput is requests per modeled
-// second across the fleet.
-#include <algorithm>
+// Part 1 pins the fixed-batch serving curve: under a saturating arrival
+// rate, a kNoTimeout policy forms exactly the batch sizes the original
+// hand-rolled bench fed, so service-per-batch reproduces that table.
+// Part 2 holds the arrival rate fixed and varies the batching policy,
+// exposing what the fixed-batch table hides: the p99 a real request
+// stream pays for amortizing the 20 GHz pSRAM reloads.
+//
+// All times are modeled hardware time (ADC sample windows + pSRAM reload
+// slots on the critical-path core), so every number here is deterministic.
 #include <iostream>
+#include <string>
 
-#include "common/random_matrix.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "nn/mlp.hpp"
 #include "runtime/accelerator.hpp"
+#include "serve/batcher.hpp"
+#include "serve/load_generator.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/server.hpp"
 
 int main() {
   using namespace ptc;
-  using namespace ptc::runtime;
+  using namespace ptc::serve;
 
   constexpr std::size_t kCores = 8;
+  runtime::Accelerator accelerator({.cores = kCores});
+  ModelRegistry registry(accelerator);
   Rng rng(777);
-  // A 128 -> 64 -> 10 classifier: 32 + 4 weight tiles per request batch.
-  const Matrix w1 = random_signed(128, 64, rng);
-  const Matrix w2 = random_signed(64, 10, rng);
+  // The same 128 -> 64 -> 10 classifier as before: 32 + 4 weight tiles per
+  // batch, now forwarded through the shared nn::Mlp activation path.
+  registry.add("mlp", nn::Mlp(128, 64, 10, rng));
+  Server server(registry);
 
   std::cout << "serving-style batched inference: " << kCores
-            << "-core fleet, 128-64-10 model, quantized eoADC readout\n\n";
+            << "-core fleet, 128-64-10 model, quantized eoADC readout, "
+               "open-loop Poisson arrivals\n\n"
+            << "fixed-batch policies under a saturating request stream "
+               "(max_wait = inf):\n";
 
-  TablePrinter table({"batch", "latency/batch", "latency/request",
-                      "requests/s", "fleet TOPS", "utilization",
-                      "reload share", "energy/request"});
+  TablePrinter fixed({"batch", "service/batch", "service/request",
+                      "requests/s", "utilization", "p99 latency",
+                      "energy/request"});
   for (const std::size_t batch : {1, 4, 16, 64}) {
-    Accelerator accelerator({.cores = kCores});
-    const Matrix x = random_activations(batch, 128, rng);
-
-    const Matrix h = accelerator.matmul(x, w1);
-    Matrix h_relu = h;
-    for (double& v : h_relu.data()) v = std::max(0.0, v);
-    accelerator.matmul(h_relu, w2);
-
-    const AcceleratorStats stats = accelerator.stats();
-    const double latency = stats.makespan;
-    const double per_request = latency / static_cast<double>(batch);
-    table.add_row(
-        {std::to_string(batch), units::si_format(latency, "s"),
-         units::si_format(per_request, "s"),
-         units::si_format(static_cast<double>(batch) / latency, "req/s"),
-         TablePrinter::num(stats.throughput_ops() / 1e12, 4),
-         TablePrinter::num(stats.utilization(), 4),
-         TablePrinter::num(100.0 * stats.reload_fraction(), 3) + " %",
-         units::si_format(stats.energy / static_cast<double>(batch), "J")});
+    const LoadGenerator generator(
+        {{.name = "t", .model = "mlp", .rate = 40e9, .requests = 64}}, 42);
+    const ServeReport report =
+        server.run(generator.generate(registry),
+                   {.max_batch = batch, .max_wait = BatchPolicy::kNoTimeout});
+    const double service_per_batch = report.service.mean;
+    fixed.add_row(
+        {std::to_string(batch), units::si_format(service_per_batch, "s"),
+         units::si_format(service_per_batch / static_cast<double>(batch), "s"),
+         units::si_format(report.throughput(), "req/s"),
+         TablePrinter::num(report.utilization(), 4),
+         units::si_format(report.total.p99, "s"),
+         units::si_format(report.energy_per_request(), "J")});
   }
-  table.print(std::cout);
+  fixed.print(std::cout);
 
-  std::cout << "\nsmall batches are reload-bound (each of the 36 weight "
-               "tiles serves few samples); larger batches amortize the "
-               "20 GHz pSRAM reloads over more 8 GS/s compute windows, "
-               "multiplying fleet throughput at the cost of per-batch "
-               "latency — the classic serving batching curve, with the "
-               "reload/compute split the paper's weight-streaming argument "
-               "predicts (energy per request stays flat: the ledger is "
-               "dominated by static power over the fixed per-request sample "
-               "count)\n";
+  std::cout << "\ndynamic batching at a fixed 300 Mreq/s arrival rate "
+               "(batch closes at max_batch or max_wait):\n";
+  TablePrinter dynamic({"policy", "mean batch", "requests/s", "p50 latency",
+                        "p99 latency", "utilization", "energy/request"});
+  struct PolicyRow {
+    std::string label;
+    BatchPolicy policy;
+  };
+  const PolicyRow rows[] = {
+      {"batch=1 (no batching)", {.max_batch = 1, .max_wait = 0.0}},
+      {"batch<=8, wait 10 ns", {.max_batch = 8, .max_wait = 10e-9}},
+      {"batch<=32, wait 50 ns", {.max_batch = 32, .max_wait = 50e-9}},
+      {"batch=32 fixed",
+       {.max_batch = 32, .max_wait = BatchPolicy::kNoTimeout}},
+  };
+  for (const PolicyRow& row : rows) {
+    const LoadGenerator generator(
+        {{.name = "t", .model = "mlp", .rate = 300e6, .requests = 96}}, 42);
+    const ServeReport report =
+        server.run(generator.generate(registry), row.policy);
+    dynamic.add_row({row.label, TablePrinter::num(report.mean_batch(), 3),
+                     units::si_format(report.throughput(), "req/s"),
+                     units::si_format(report.total.p50, "s"),
+                     units::si_format(report.total.p99, "s"),
+                     TablePrinter::num(report.utilization(), 4),
+                     units::si_format(report.energy_per_request(), "J")});
+  }
+  dynamic.print(std::cout);
+
+  std::cout
+      << "\nsmall batches are reload-bound (each of the 36 weight tiles "
+         "serves few samples); larger batches amortize the 20 GHz pSRAM "
+         "reloads over more 8 GS/s compute windows, multiplying fleet "
+         "throughput — but under a real request stream the fixed-batch "
+         "policy buys that throughput with queue-fill latency, while the "
+         "max-wait bound caps the tail: the dynamic rows hold p99 within "
+         "the wait budget and still close near-full batches at this rate\n";
   return 0;
 }

@@ -1,0 +1,136 @@
+// The serving-policy frontier: arrival rate x {max_batch, max_wait} swept
+// through the discrete-event Server, printing the saturation / tail-latency
+// trade-off a production deployment navigates.
+//
+// Two regimes bound the design space:
+//  - streaming regime (model tiles > fleet cores): every batch pays its
+//    pSRAM reloads, so dynamic batching is the whole game — it must sustain
+//    multiples of the batch=1 throughput while the max-wait bound keeps the
+//    p99 finite even past batch=1 saturation;
+//  - resident regime (model fits the fleet): consecutive batches reuse the
+//    resident weight tiles and skip reloads entirely, the serving-side
+//    payoff of the paper's 20 GHz weight-streaming argument.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "nn/mlp.hpp"
+#include "runtime/accelerator.hpp"
+#include "serve/batcher.hpp"
+#include "serve/load_generator.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace ptc;
+using namespace ptc::serve;
+
+struct PolicyRow {
+  std::string label;
+  BatchPolicy policy;
+};
+
+ServeReport run_once(Server& server, ModelRegistry& registry,
+                     const std::string& model, double rate,
+                     std::size_t requests, const BatchPolicy& policy) {
+  const LoadGenerator generator(
+      {{.name = "t", .model = model, .rate = rate, .requests = requests}},
+      1234);
+  return server.run(generator.generate(registry), policy);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kCores = 8;
+  runtime::Accelerator accelerator({.cores = kCores});
+  ModelRegistry registry(accelerator);
+  Rng rng(99);
+  registry.add("stream", nn::Mlp(64, 32, 10, rng));    // 10 tiles > 8 cores
+  registry.add("resident", nn::Mlp(32, 16, 10, rng));  // 3 tiles <= 8 cores
+  Server server(registry);
+
+  std::cout << "serving-policy sweep: " << kCores
+            << "-core fleet, open-loop Poisson arrivals, 96 requests per "
+               "point, modeled hardware time\n\n"
+            << "streaming regime (64-32-10 model, 10 weight tiles: every "
+               "batch reloads):\n";
+
+  const PolicyRow policies[] = {
+      {"batch=1", {.max_batch = 1, .max_wait = 0.0}},
+      {"b<=16, w=20ns", {.max_batch = 16, .max_wait = 20e-9}},
+      {"b<=32, w=100ns", {.max_batch = 32, .max_wait = 100e-9}},
+      {"b=32 fixed", {.max_batch = 32, .max_wait = BatchPolicy::kNoTimeout}},
+  };
+
+  TablePrinter table({"arrival rate", "policy", "mean batch", "requests/s",
+                      "p50", "p99", "utilization", "energy/request"});
+  double batch1_throughput = 0.0;
+  ServeReport best_dynamic;
+  for (const double rate : {50e6, 200e6, 1.2e9}) {
+    for (const PolicyRow& row : policies) {
+      const ServeReport report =
+          run_once(server, registry, "stream", rate, 96, row.policy);
+      table.add_row({units::si_format(rate, "req/s"), row.label,
+                     TablePrinter::num(report.mean_batch(), 3),
+                     units::si_format(report.throughput(), "req/s"),
+                     units::si_format(report.total.p50, "s"),
+                     units::si_format(report.total.p99, "s"),
+                     TablePrinter::num(report.utilization(), 4),
+                     units::si_format(report.energy_per_request(), "J")});
+      if (rate == 1.2e9 && row.label == std::string("batch=1")) {
+        batch1_throughput = report.throughput();
+      }
+      if (rate == 1.2e9 && row.label == std::string("b<=32, w=100ns")) {
+        best_dynamic = report;
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nsaturation frontier at 1.2 Greq/s: dynamic batching "
+               "(b<=32, w=100ns) sustains "
+            << TablePrinter::num(best_dynamic.throughput() /
+                                     batch1_throughput,
+                                 3)
+            << "x the throughput of batch=1 with a bounded p99 of "
+            << units::si_format(best_dynamic.total.p99, "s") << " ("
+            << units::si_format(best_dynamic.throughput(), "req/s")
+            << " vs "
+            << units::si_format(batch1_throughput, "req/s") << ")\n";
+
+  std::cout << "\nresident regime (32-16-10 model, 3 weight tiles: "
+               "consecutive batches reuse residencies) at 2 Greq/s:\n";
+  TablePrinter resident({"policy", "mean batch", "warm passes", "requests/s",
+                         "p99", "energy/request"});
+  for (const PolicyRow& row :
+       {PolicyRow{"batch=1", {.max_batch = 1, .max_wait = 0.0}},
+        PolicyRow{"b=16 fixed",
+                  {.max_batch = 16, .max_wait = BatchPolicy::kNoTimeout}}}) {
+    const ServeReport report =
+        run_once(server, registry, "resident", 2e9, 96, row.policy);
+    resident.add_row(
+        {row.label, TablePrinter::num(report.mean_batch(), 3),
+         TablePrinter::num(100.0 * report.warm_fraction(), 3) + " %",
+         units::si_format(report.throughput(), "req/s"),
+         units::si_format(report.total.p99, "s"),
+         units::si_format(report.energy_per_request(), "J")});
+  }
+  resident.print(std::cout);
+
+  std::cout << "\nin the streaming regime the batcher earns its keep: past "
+               "batch=1 saturation the queue grows without bound, while the "
+               "max-wait policy closes near-full batches and holds the tail; "
+               "in the resident regime even unbatched requests ride warm "
+               "tiles, so the 20 GHz reload path only matters when the "
+               "working set exceeds the fleet — exactly the paper's "
+               "weight-streaming amortization argument, restated as a "
+               "serving policy (energy/request is execution energy and is "
+               "not credited for skipped reloads; the static-power-dominated "
+               "ledger keeps it flat across policies)\n";
+  return 0;
+}

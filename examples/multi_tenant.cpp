@@ -1,0 +1,69 @@
+// Multi-tenant serving through the ModelRegistry: two tenants with their
+// own models share one accelerator fleet, and the dynamic batcher decides
+// which model's batch dispatches next — preferring the model whose weight
+// tiles are already resident, so fewer 20 GHz pSRAM reloads are paid.
+//
+// Run it:  ./example_multi_tenant
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "nn/mlp.hpp"
+#include "runtime/accelerator.hpp"
+#include "serve/batcher.hpp"
+#include "serve/load_generator.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/server.hpp"
+
+int main() {
+  using namespace ptc;
+  using namespace ptc::serve;
+
+  runtime::Accelerator accelerator({.cores = 8});
+  ModelRegistry registry(accelerator);
+  Rng rng(2025);
+  // "vision" streams 10 weight tiles per batch (never fully resident on 8
+  // cores); "keyword" fits in 3 tiles, so its back-to-back batches run warm.
+  registry.add("vision", nn::Mlp(64, 32, 10, rng));
+  registry.add("keyword", nn::Mlp(32, 16, 4, rng));
+  Server server(registry);
+
+  const LoadGenerator generator(
+      {{.name = "alice", .model = "vision", .rate = 40e6, .requests = 48},
+       {.name = "bob", .model = "keyword", .rate = 800e6, .requests = 240}},
+      7);
+  const BatchPolicy policy{.max_batch = 16, .max_wait = 25e-9};
+  const ServeReport report = server.run(generator.generate(registry), policy);
+
+  std::cout << "multi-tenant serving: 8-core fleet, two models, one queue\n"
+            << "  alice -> vision (64-32-10, 10 tiles) at 40 Mreq/s\n"
+            << "  bob   -> keyword (32-16-4, 3 tiles) at 800 Mreq/s\n"
+            << "  policy: batch <= 16, max wait 25 ns\n\n";
+
+  TablePrinter table({"tenant", "requests", "p50", "p95", "p99", "max"});
+  for (const char* tenant : {"alice", "bob"}) {
+    const LatencyStats stats = report.tenant_total(tenant);
+    table.add_row({tenant, std::to_string(stats.count),
+                   units::si_format(stats.p50, "s"),
+                   units::si_format(stats.p95, "s"),
+                   units::si_format(stats.p99, "s"),
+                   units::si_format(stats.max, "s")});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nfleet totals: "
+            << units::si_format(report.throughput(), "req/s") << " over "
+            << report.batches.size() << " batches (mean size "
+            << TablePrinter::num(report.mean_batch(), 3) << "), "
+            << TablePrinter::num(100.0 * report.warm_fraction(), 3)
+            << " % of tile passes served from resident weights, "
+            << units::si_format(report.energy_per_request(), "J")
+            << " per request\n\n"
+            << "the batcher keeps the two tenants' batches apart (a batch "
+               "is always one model) but lets keyword's small working set "
+               "stay resident between its dispatches; vision pays its "
+               "reloads every time, which is why its tail is wider than "
+               "its rate alone would predict\n";
+  return 0;
+}

@@ -67,6 +67,12 @@ double Rng::normal(double mean, double sigma) {
   return mean + sigma * normal();
 }
 
+double Rng::exponential(double rate) {
+  expects(rate > 0.0, "exponential() requires rate > 0");
+  // uniform() < 1, so 1 - u is in (0, 1] and the log stays finite.
+  return -std::log1p(-uniform()) / rate;
+}
+
 bool Rng::bernoulli(double p) {
   expects(p >= 0.0 && p <= 1.0, "bernoulli() requires p in [0, 1]");
   return uniform() < p;

@@ -38,6 +38,11 @@ class Rng {
   /// Normal deviate with the given mean and standard deviation (sigma >= 0).
   double normal(double mean, double sigma);
 
+  /// Exponential deviate with the given rate (mean 1/rate), the
+  /// inter-arrival time of a Poisson process — the serve-layer open-loop
+  /// load model.  Requires rate > 0.
+  double exponential(double rate);
+
   /// Bernoulli trial with success probability p in [0, 1].
   bool bernoulli(double p);
 

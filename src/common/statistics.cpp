@@ -38,6 +38,23 @@ double rms(const std::vector<double>& xs) {
   return std::sqrt(sum / static_cast<double>(xs.size()));
 }
 
+double percentile(const std::vector<double>& xs, double p) {
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, p);
+}
+
+double percentile_sorted(const std::vector<double>& sorted_xs, double p) {
+  expects(!sorted_xs.empty(), "percentile of empty sample");
+  expects(p >= 0.0 && p <= 100.0, "percentile requires p in [0, 100]");
+  // Nearest rank ceil(p/100 * n), with a slack that absorbs the binary
+  // representation error of p * n / 100 (e.g. 7 * 100 / 100 must stay rank
+  // 7, not round up to 8 via 7.000000000000001).
+  const double h = p * static_cast<double>(sorted_xs.size()) / 100.0;
+  const auto rank = static_cast<std::size_t>(std::ceil(h - 1e-9));
+  return sorted_xs[std::clamp<std::size_t>(rank, 1, sorted_xs.size()) - 1];
+}
+
 LinearFit linear_fit(const std::vector<double>& xs, const std::vector<double>& ys) {
   expects(xs.size() == ys.size(), "linear_fit requires equal-length samples");
   expects(xs.size() >= 2, "linear_fit requires at least two points");

@@ -23,6 +23,16 @@ double max_of(const std::vector<double>& xs);
 /// Root-mean-square of a sample.  Requires a non-empty sample.
 double rms(const std::vector<double>& xs);
 
+/// Nearest-rank percentile: the smallest element such that at least p% of
+/// the sample is <= it (p in [0, 100]; p = 0 returns the minimum).  A
+/// single-element sample returns that element for every p.  Requires a
+/// non-empty sample.  Used for the serve-layer p50/p95/p99 reporting.
+double percentile(const std::vector<double>& xs, double p);
+
+/// percentile() for a sample already sorted ascending — lets callers that
+/// extract several percentiles pay for one sort.
+double percentile_sorted(const std::vector<double>& sorted_xs, double p);
+
 /// Least-squares straight-line fit y = slope * x + intercept.
 struct LinearFit {
   double slope = 0.0;

@@ -53,6 +53,26 @@ PassCost Accelerator::pass_cost(std::size_t samples) const {
   return cost;
 }
 
+BatchCost Accelerator::batch_cost(std::size_t passes, std::size_t warm_passes,
+                                  std::size_t samples) const {
+  expects(warm_passes <= passes, "warm passes cannot exceed total passes");
+  const PassCost cost = pass_cost(samples);
+  // Cold passes first: the greedy balances best when the expensive
+  // (reload + compute) passes land before the compute-only warm ones.
+  std::vector<double> pass_costs;
+  pass_costs.reserve(passes);
+  pass_costs.assign(passes - warm_passes, cost.total());
+  pass_costs.insert(pass_costs.end(), warm_passes, cost.compute_s);
+  const Schedule schedule = TileScheduler::assign_costs(pass_costs,
+                                                        cores_.size());
+  BatchCost out;
+  out.latency = schedule.makespan();
+  out.busy = schedule.total_busy();
+  out.reloads = passes - warm_passes;
+  out.reload_time = static_cast<double>(out.reloads) * cost.reload_s;
+  return out;
+}
+
 Matrix Accelerator::matmul(const Matrix& x, const Matrix& w,
                            const nn::PhotonicBackendOptions& options) {
   core::TensorCore& front = *cores_.front();

@@ -60,6 +60,17 @@ class Accelerator {
   /// Modeled hardware cost of one tile pass for a batch of `samples`.
   PassCost pass_cost(std::size_t samples) const;
 
+  /// Modeled cost of dispatching one serving batch: `passes` weight-tile
+  /// residencies each streaming a `samples`-row batch, of which
+  /// `warm_passes` are still resident on their cores from the previous
+  /// dispatch and skip the pSRAM reload.  LPT-balanced across the pool
+  /// exactly like matmul()'s schedule, so a fully cold batch costs the
+  /// same modeled makespan matmul() records.  Pure function of (config,
+  /// arguments) — the serve layer's timing hook, independent of host
+  /// threading.
+  BatchCost batch_cost(std::size_t passes, std::size_t warm_passes,
+                       std::size_t samples) const;
+
   /// Fleet statistics accumulated since construction (or reset_stats()),
   /// with energy/power drawn from the live per-core ledgers.
   AcceleratorStats stats() const;

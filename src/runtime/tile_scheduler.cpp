@@ -22,18 +22,26 @@ double Schedule::total_busy() const {
 
 Schedule TileScheduler::assign(const nn::TilePlan& plan, std::size_t cores,
                                const PassCost& cost) {
+  // All passes cost the same here (same batch, same tile geometry), so the
+  // greedy degenerates to round-robin — but the least-loaded rule keeps the
+  // schedule balanced if per-pass costs ever diverge (e.g. warm serve-layer
+  // passes that skip the reload).
+  return assign_costs(std::vector<double>(plan.passes.size(), cost.total()),
+                      cores);
+}
+
+Schedule TileScheduler::assign_costs(const std::vector<double>& pass_costs,
+                                     std::size_t cores) {
   expects(cores >= 1, "schedule needs at least one core");
-  expects(cost.total() >= 0.0, "pass cost must be non-negative");
+  for (double c : pass_costs) {
+    expects(c >= 0.0, "pass cost must be non-negative");
+  }
 
   Schedule schedule;
   schedule.shards.resize(cores);
   for (std::size_t c = 0; c < cores; ++c) schedule.shards[c].core = c;
 
-  // All passes cost the same here (same batch, same tile geometry), so the
-  // greedy degenerates to round-robin — but the least-loaded rule keeps the
-  // schedule balanced if per-pass costs ever diverge (e.g. partial edge
-  // tiles with early-out streaming).
-  for (std::size_t i = 0; i < plan.passes.size(); ++i) {
+  for (std::size_t i = 0; i < pass_costs.size(); ++i) {
     std::size_t best = 0;
     for (std::size_t c = 1; c < cores; ++c) {
       if (schedule.shards[c].busy_time < schedule.shards[best].busy_time) {
@@ -41,7 +49,7 @@ Schedule TileScheduler::assign(const nn::TilePlan& plan, std::size_t cores,
       }
     }
     schedule.shards[best].pass_indices.push_back(i);
-    schedule.shards[best].busy_time += cost.total();
+    schedule.shards[best].busy_time += pass_costs[i];
   }
   return schedule;
 }

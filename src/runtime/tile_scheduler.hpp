@@ -18,6 +18,14 @@ struct PassCost {
   double total() const { return reload_s + compute_s; }
 };
 
+/// Modeled fleet cost of one serving batch (see Accelerator::batch_cost).
+struct BatchCost {
+  double latency = 0.0;      ///< fleet makespan for the batch [s]
+  double busy = 0.0;         ///< summed per-core busy time [s]
+  std::size_t reloads = 0;   ///< pSRAM reloads actually paid
+  double reload_time = 0.0;  ///< modeled reload latency paid [s]
+};
+
 /// The passes assigned to one core, in execution order.
 struct CoreShard {
   std::size_t core = 0;
@@ -48,6 +56,13 @@ class TileScheduler {
  public:
   static Schedule assign(const nn::TilePlan& plan, std::size_t cores,
                          const PassCost& cost);
+
+  /// Lower-level entry point taking an explicit per-pass cost list — the
+  /// generalization the serve layer's batch costing uses, where passes
+  /// whose weight tile is already resident skip the reload and are cheaper
+  /// than cold passes.  Costs must be non-negative.
+  static Schedule assign_costs(const std::vector<double>& pass_costs,
+                               std::size_t cores);
 };
 
 }  // namespace ptc::runtime

@@ -1,0 +1,72 @@
+#ifndef PTC_SERVE_LATENCY_STATS_HPP
+#define PTC_SERVE_LATENCY_STATS_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+/// Tail-latency summaries and the full per-run report the Server returns.
+/// Percentiles are nearest-rank (statistics::percentile), the convention
+/// serving SLOs quote.
+namespace ptc::serve {
+
+/// Summary of one latency sample [s].
+struct LatencyStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+
+  /// Nearest-rank summary of `xs`; an empty sample yields all zeros.
+  static LatencyStats from(const std::vector<double>& xs);
+};
+
+/// Everything one Server::run produced: the request/batch trace, the
+/// latency decomposition, and the fleet-level serving metrics.
+struct ServeReport {
+  std::vector<RequestRecord> requests;  ///< in dispatch order
+  std::vector<BatchRecord> batches;     ///< the deterministic event trace
+
+  LatencyStats queue_wait;  ///< arrival -> dispatch
+  LatencyStats service;     ///< dispatch -> completion
+  LatencyStats total;       ///< arrival -> completion (the SLO number)
+
+  double makespan = 0.0;  ///< last batch completion time [s]
+  double busy = 0.0;      ///< summed core-busy time [s]
+  /// Fleet ledger energy consumed executing the run's forward passes [J].
+  /// This is the full (cold) execution energy: warm passes shorten the
+  /// modeled latency but are not credited here — the ledger still pays
+  /// every reload, and it is dominated by static power over the fixed
+  /// per-request sample count, so energy/request barely moves with policy.
+  double energy = 0.0;
+  std::size_t cores = 0;        ///< fleet size the run used
+  std::size_t passes = 0;       ///< weight-tile residencies streamed
+  std::size_t warm_passes = 0;  ///< residencies served without a reload
+
+  /// Completed requests per modeled second.
+  double throughput() const;
+
+  /// Fleet energy per completed request [J].
+  double energy_per_request() const;
+
+  /// Fraction of fleet capacity in use: busy / (cores * makespan).
+  double utilization() const;
+
+  /// Fraction of tile passes that skipped the pSRAM reload.
+  double warm_fraction() const;
+
+  /// Mean dispatched batch size.
+  double mean_batch() const;
+
+  /// Latency summary restricted to one tenant's requests (arrival ->
+  /// completion); a tenant with no requests yields all zeros.
+  LatencyStats tenant_total(const std::string& tenant) const;
+};
+
+}  // namespace ptc::serve
+
+#endif  // PTC_SERVE_LATENCY_STATS_HPP

@@ -1,0 +1,87 @@
+#include "serve/model_registry.hpp"
+
+#include <utility>
+
+#include "common/expects.hpp"
+
+namespace ptc::serve {
+namespace {
+
+std::size_t div_ceil(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(runtime::Accelerator& accelerator,
+                             const nn::PhotonicBackendOptions& options)
+    : accelerator_(accelerator), backend_(accelerator, options) {}
+
+void ModelRegistry::add(const std::string& name, nn::Mlp model) {
+  expects(!name.empty(), "model name must be non-empty");
+  expects(!contains(name), "model name already registered");
+
+  // Pass counts mirror nn::plan_tiled_matmul: a k x m weight matrix cuts
+  // into ceil(k / cols) x ceil(m / rows) tiles, twice under the
+  // differential W+/W- encoding.
+  const core::TensorCore& probe = accelerator_.core(0);
+  const std::size_t per_tile =
+      backend_.options().differential_weights ? 2 : 1;
+  std::vector<std::size_t> layer_passes;
+  for (const nn::DenseLayer* layer : {&model.layer1(), &model.layer2()}) {
+    layer_passes.push_back(div_ceil(layer->w.rows(), probe.cols()) *
+                           div_ceil(layer->w.cols(), probe.rows()) * per_tile);
+  }
+  models_.emplace(name, Entry{std::move(model), std::move(layer_passes)});
+}
+
+bool ModelRegistry::contains(const std::string& name) const {
+  return models_.count(name) > 0;
+}
+
+const ModelRegistry::Entry& ModelRegistry::entry(
+    const std::string& name) const {
+  const auto it = models_.find(name);
+  expects(it != models_.end(), "unknown model name");
+  return it->second;
+}
+
+const nn::Mlp& ModelRegistry::model(const std::string& name) const {
+  return entry(name).model;
+}
+
+std::size_t ModelRegistry::input_width(const std::string& name) const {
+  return entry(name).model.layer1().w.rows();
+}
+
+std::size_t ModelRegistry::passes(const std::string& name) const {
+  std::size_t total = 0;
+  for (std::size_t layer : entry(name).layer_passes) total += layer;
+  return total;
+}
+
+bool ModelRegistry::fits_resident(const std::string& name) const {
+  return passes(name) <= accelerator_.core_count();
+}
+
+BatchDispatch ModelRegistry::run_batch(const std::string& name,
+                                       const Matrix& x) {
+  const Entry& e = entry(name);
+  expects(x.rows() >= 1, "batch must contain at least one request");
+  expects(x.cols() == input_width(name),
+          "batch width does not match the model input width");
+
+  const bool warm = resident_ == name && fits_resident(name);
+  BatchDispatch out;
+  out.logits = e.model.forward(backend_, x);
+  for (std::size_t layer_passes : e.layer_passes) {
+    const runtime::BatchCost cost = accelerator_.batch_cost(
+        layer_passes, warm ? layer_passes : 0, x.rows());
+    out.latency += cost.latency;
+    out.busy += cost.busy;
+    out.passes += layer_passes;
+    if (warm) out.warm_passes += layer_passes;
+  }
+  resident_ = fits_resident(name) ? name : std::string();
+  return out;
+}
+
+}  // namespace ptc::serve

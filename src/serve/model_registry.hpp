@@ -1,0 +1,89 @@
+#ifndef PTC_SERVE_MODEL_REGISTRY_HPP
+#define PTC_SERVE_MODEL_REGISTRY_HPP
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/linalg.hpp"
+#include "nn/backend.hpp"
+#include "nn/mlp.hpp"
+#include "runtime/accelerator.hpp"
+#include "runtime/backend.hpp"
+
+/// Named model store with weight-tile residency accounting.  The registry
+/// knows how many pSRAM residencies a batch of each model streams, and
+/// whether the previous dispatch left those tiles on the fleet — the signal
+/// the DynamicBatcher uses to favor batches that skip reloads entirely,
+/// which is the serving-side payoff of the paper's 20 GHz weight-streaming
+/// argument.
+namespace ptc::serve {
+
+/// Output + modeled cost of dispatching one batch through the fleet.
+struct BatchDispatch {
+  Matrix logits;               ///< samples x classes
+  double latency = 0.0;        ///< modeled fleet makespan of the batch [s]
+  double busy = 0.0;           ///< summed core-busy time [s]
+  std::size_t passes = 0;      ///< weight-tile residencies streamed
+  std::size_t warm_passes = 0; ///< residencies reused (no reload paid)
+};
+
+class ModelRegistry {
+ public:
+  /// All models execute on `accelerator` with the same backend options.
+  explicit ModelRegistry(runtime::Accelerator& accelerator,
+                         const nn::PhotonicBackendOptions& options = {});
+
+  /// Registers a model under `name` (must be unique).
+  void add(const std::string& name, nn::Mlp model);
+
+  /// The fleet every registered model executes on.
+  runtime::Accelerator& accelerator() { return accelerator_; }
+
+  bool contains(const std::string& name) const;
+  const nn::Mlp& model(const std::string& name) const;
+  std::size_t size() const { return models_.size(); }
+
+  /// Input row width the model expects.
+  std::size_t input_width(const std::string& name) const;
+
+  /// Weight-tile passes one batch of this model streams (both layers,
+  /// doubled under differential encoding).
+  std::size_t passes(const std::string& name) const;
+
+  /// True when the model's tiles all fit on the fleet simultaneously — the
+  /// precondition for back-to-back batches to reuse residencies.
+  bool fits_resident(const std::string& name) const;
+
+  /// Model whose tiles are currently resident across the fleet ("" when
+  /// none is coherently resident).
+  const std::string& resident_model() const { return resident_; }
+
+  /// Executes one batch (x: samples x input_width) on the fleet and
+  /// returns logits plus the modeled batch cost.  Consecutive batches of
+  /// the same resident-fitting model reuse every tile (warm_passes ==
+  /// passes); a model switch, or a model larger than the fleet, pays all
+  /// reloads cold.
+  BatchDispatch run_batch(const std::string& name, const Matrix& x);
+
+  /// Forgets residency state (fresh fleet), e.g. at the start of a run.
+  void reset_residency() { resident_.clear(); }
+
+ private:
+  struct Entry {
+    nn::Mlp model;
+    std::vector<std::size_t> layer_passes;  ///< per matmul, forward order
+  };
+
+  const Entry& entry(const std::string& name) const;
+
+  runtime::Accelerator& accelerator_;
+  runtime::AcceleratorBackend backend_;
+  std::map<std::string, Entry> models_;
+  std::string resident_;
+};
+
+}  // namespace ptc::serve
+
+#endif  // PTC_SERVE_MODEL_REGISTRY_HPP

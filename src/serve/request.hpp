@@ -1,0 +1,54 @@
+#ifndef PTC_SERVE_REQUEST_HPP
+#define PTC_SERVE_REQUEST_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// Request and record types shared across the serving subsystem: what flows
+/// in from the LoadGenerator, and what the Server writes down about every
+/// request and every dispatched batch.  All times are modeled hardware time
+/// in seconds — the same clock runtime::AcceleratorStats uses — so traces
+/// are deterministic and independent of host threading.
+namespace ptc::serve {
+
+/// One inference request: a single input row destined for a named model.
+struct Request {
+  std::size_t id = 0;         ///< global id, assigned in arrival order
+  std::string tenant;         ///< originating load stream
+  std::string model;          ///< ModelRegistry entry to run
+  double arrival = 0.0;       ///< open-loop arrival time [s]
+  std::vector<double> input;  ///< intensity-encoded input row (non-negative)
+};
+
+/// Per-request outcome with the full latency decomposition.
+struct RequestRecord {
+  std::size_t id = 0;
+  std::string tenant;
+  std::string model;
+  std::size_t batch = 0;      ///< BatchRecord id this request rode in
+  std::size_t predicted = 0;  ///< argmax class from the model logits
+  double arrival = 0.0;
+  double dispatch = 0.0;      ///< when its batch started on the fleet
+  double completion = 0.0;
+
+  double queue_wait() const { return dispatch - arrival; }
+  double service() const { return completion - dispatch; }
+  double total() const { return completion - arrival; }
+};
+
+/// One dispatched batch as the event loop saw it.
+struct BatchRecord {
+  std::size_t id = 0;
+  std::string model;
+  std::size_t size = 0;         ///< requests in the batch
+  std::size_t passes = 0;       ///< weight-tile residencies streamed
+  std::size_t warm_passes = 0;  ///< residencies reused from the previous batch
+  double dispatch = 0.0;
+  double completion = 0.0;
+  double busy = 0.0;            ///< summed core-busy time [s]
+};
+
+}  // namespace ptc::serve
+
+#endif  // PTC_SERVE_REQUEST_HPP

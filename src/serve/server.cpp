@@ -1,0 +1,123 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/expects.hpp"
+#include "nn/layers.hpp"
+
+namespace ptc::serve {
+
+Server::Server(ModelRegistry& registry)
+    : accelerator_(registry.accelerator()), registry_(registry) {}
+
+ServeReport Server::run(const std::vector<Request>& requests,
+                        const BatchPolicy& policy) {
+  for (std::size_t i = 0; i + 1 < requests.size(); ++i) {
+    expects(requests[i].arrival <= requests[i + 1].arrival,
+            "requests must be sorted by arrival time");
+  }
+  registry_.reset_residency();
+  const double energy_before = accelerator_.fleet_ledger().total_energy();
+
+  DynamicBatcher batcher(policy);
+  ServeReport report;
+  report.cores = accelerator_.core_count();
+  report.requests.reserve(requests.size());
+
+  std::size_t next = 0;
+  double fleet_free = 0.0;
+
+  while (next < requests.size() || batcher.has_pending()) {
+    if (!batcher.has_pending()) {
+      batcher.enqueue(requests[next++]);
+      continue;
+    }
+
+    double dispatch_at =
+        std::max(fleet_free, batcher.next_ready_time(fleet_free));
+    if (next < requests.size() && requests[next].arrival <= dispatch_at) {
+      // This arrival lands before (or exactly when) the next batch would
+      // launch: admit it first — it may fill the batch, or open one that
+      // closes sooner.
+      batcher.enqueue(requests[next++]);
+      continue;
+    }
+    bool drain = false;
+    if (std::isinf(dispatch_at)) {
+      // Arrival stream ended and no bound will ever close the leftovers
+      // (kNoTimeout partial batches): flush them now.
+      expects(next >= requests.size(), "only a drained stream may flush");
+      dispatch_at = fleet_free;
+      drain = true;
+    }
+
+    std::vector<Request> batch =
+        batcher.pop_ready(dispatch_at, registry_.resident_model(), drain);
+    expects(!batch.empty(), "a ready batch must be non-empty");
+
+    Matrix x(batch.size(), batch.front().input.size());
+    for (std::size_t r = 0; r < batch.size(); ++r) {
+      expects(batch[r].input.size() == x.cols(),
+              "requests of one model must share the input width");
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        x(r, c) = batch[r].input[c];
+      }
+    }
+
+    const BatchDispatch result =
+        registry_.run_batch(batch.front().model, x);
+    const double completion = dispatch_at + result.latency;
+    const std::vector<std::size_t> predicted =
+        nn::argmax_rows(result.logits);
+
+    BatchRecord batch_record;
+    batch_record.id = report.batches.size();
+    batch_record.model = batch.front().model;
+    batch_record.size = batch.size();
+    batch_record.passes = result.passes;
+    batch_record.warm_passes = result.warm_passes;
+    batch_record.dispatch = dispatch_at;
+    batch_record.completion = completion;
+    batch_record.busy = result.busy;
+
+    for (std::size_t r = 0; r < batch.size(); ++r) {
+      RequestRecord record;
+      record.id = batch[r].id;
+      record.tenant = std::move(batch[r].tenant);
+      record.model = std::move(batch[r].model);
+      record.batch = batch_record.id;
+      record.predicted = predicted[r];
+      record.arrival = batch[r].arrival;
+      record.dispatch = dispatch_at;
+      record.completion = completion;
+      report.requests.push_back(std::move(record));
+    }
+    report.batches.push_back(std::move(batch_record));
+    report.passes += result.passes;
+    report.warm_passes += result.warm_passes;
+    report.busy += result.busy;
+    fleet_free = completion;
+  }
+
+  report.makespan = fleet_free;
+  report.energy =
+      accelerator_.fleet_ledger().total_energy() - energy_before;
+
+  std::vector<double> waits, services, totals;
+  waits.reserve(report.requests.size());
+  services.reserve(report.requests.size());
+  totals.reserve(report.requests.size());
+  for (const RequestRecord& record : report.requests) {
+    waits.push_back(record.queue_wait());
+    services.push_back(record.service());
+    totals.push_back(record.total());
+  }
+  report.queue_wait = LatencyStats::from(waits);
+  report.service = LatencyStats::from(services);
+  report.total = LatencyStats::from(totals);
+  return report;
+}
+
+}  // namespace ptc::serve

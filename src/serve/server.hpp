@@ -1,0 +1,46 @@
+#ifndef PTC_SERVE_SERVER_HPP
+#define PTC_SERVE_SERVER_HPP
+
+#include <vector>
+
+#include "runtime/accelerator.hpp"
+#include "serve/batcher.hpp"
+#include "serve/latency_stats.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/request.hpp"
+
+/// Discrete-event serving simulator: open-loop arrivals -> RequestQueue ->
+/// DynamicBatcher -> accelerator fleet, all on modeled hardware time.  The
+/// fleet serves one batch at a time (every tensor core participates in the
+/// batch's tile schedule), which makes this the single-station queueing
+/// model whose saturation the serving benches sweep.
+///
+/// Determinism contract: identical (requests, policy, registry contents,
+/// accelerator config) produce an identical batch trace and identical
+/// stats, bit for bit, on any host thread count — the event loop is
+/// sequential, batch outputs inherit the Accelerator's canonical-order
+/// reduction, and batch timing comes from Accelerator::batch_cost, never
+/// from host wall time.
+namespace ptc::serve {
+
+class Server {
+ public:
+  /// Serves the registry's models on the registry's accelerator fleet.
+  explicit Server(ModelRegistry& registry);
+
+  /// Serves `requests` (sorted by arrival — LoadGenerator output
+  /// qualifies) under `policy` and returns the full report.  Arrivals at
+  /// exactly the dispatch instant join the closing batch.  Once the
+  /// arrival stream ends, leftover queued requests drain as partial
+  /// batches.  Residency state resets at the start of every run.
+  ServeReport run(const std::vector<Request>& requests,
+                  const BatchPolicy& policy);
+
+ private:
+  runtime::Accelerator& accelerator_;
+  ModelRegistry& registry_;
+};
+
+}  // namespace ptc::serve
+
+#endif  // PTC_SERVE_SERVER_HPP

@@ -60,6 +60,31 @@ TEST(Rng, BernoulliFrequency) {
   EXPECT_THROW(rng.bernoulli(1.5), std::invalid_argument);
 }
 
+TEST(Rng, ExponentialMomentsAndPositivity) {
+  Rng rng(13);
+  std::vector<double> xs(40000);
+  for (auto& x : xs) {
+    x = rng.exponential(4.0);
+    ASSERT_GE(x, 0.0);
+  }
+  EXPECT_NEAR(mean(xs), 0.25, 0.005);    // mean = 1 / rate
+  EXPECT_NEAR(stddev(xs), 0.25, 0.005);  // sigma = 1 / rate
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialSequenceIsPinned) {
+  // Regression anchor for the Poisson arrival sampling: the serve layer's
+  // request traces are reproducible only while this sequence holds.
+  Rng rng(42);
+  const double golden[6] = {0.043794665291708786, 0.2381961975393862,
+                            0.56978497592693877,  1.2930907304934212,
+                            2.4020492950781831,   0.7342719152251117};
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NEAR(rng.exponential(2.0), golden[i], 1e-12) << "draw " << i;
+  }
+}
+
 TEST(Rng, BelowCoversRangeWithoutBias) {
   Rng rng(5);
   std::vector<std::size_t> counts(7, 0);

@@ -1,0 +1,66 @@
+// Nearest-rank percentile: the serve layer's p50/p95/p99 primitive.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/statistics.hpp"
+
+namespace {
+
+using namespace ptc;
+
+TEST(Percentile, NearestRankMatchesTextbookExample) {
+  // The canonical nearest-rank worked example: rank = ceil(p/100 * 5).
+  const std::vector<double> xs{15.0, 20.0, 35.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 5.0), 15.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 30.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 40.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 35.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+}
+
+TEST(Percentile, ZeroReturnsTheMinimum) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.0), 1.0);
+}
+
+TEST(Percentile, InputOrderDoesNotMatter) {
+  const std::vector<double> shuffled{50.0, 15.0, 40.0, 20.0, 35.0};
+  EXPECT_DOUBLE_EQ(percentile(shuffled, 50.0), 35.0);
+  EXPECT_DOUBLE_EQ(percentile(shuffled, 95.0), 50.0);
+}
+
+TEST(Percentile, SingleElementReturnsItForEveryP) {
+  for (const double p : {0.0, 37.5, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile({42.0}, p), 42.0) << "p = " << p;
+  }
+}
+
+TEST(Percentile, TailRanksOnALargerSample) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 95.0), 95.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 99.0), 99.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 99.9), 100.0);
+}
+
+TEST(Percentile, RankIsImmuneToBinaryRepresentationError) {
+  // p/100 * n computed naively gives 7.000000000000001 for both of these,
+  // which a plain ceil would round up to rank 8.
+  std::vector<double> hundred;
+  for (int i = 1; i <= 100; ++i) hundred.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(percentile(hundred, 7.0), 7.0);
+
+  std::vector<double> twenty_five;
+  for (int i = 1; i <= 25; ++i) twenty_five.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(percentile(twenty_five, 28.0), 7.0);
+}
+
+TEST(Percentile, RejectsEmptySampleAndBadP) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 100.5), std::invalid_argument);
+}
+
+}  // namespace
