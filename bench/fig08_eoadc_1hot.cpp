@@ -19,7 +19,10 @@ int main() {
 
   std::vector<std::string> headers{"V_IN [V]"};
   for (std::size_t ch = 0; ch < 8; ++ch) {
-    headers.push_back("M" + std::to_string(ch + 1) + " [uW]");
+    std::string header = "M";
+    header += std::to_string(ch + 1);
+    header += " [uW]";
+    headers.push_back(std::move(header));
   }
   headers.push_back("active set");
   TablePrinter table(headers);
@@ -39,7 +42,8 @@ int main() {
       row.push_back(p_uw);
       if (p_uw < 18.0 * adc.config().trip_offset_ratio) {
         if (!active.empty()) active += "+";
-        active += "B" + std::to_string(ch + 1);
+        active += "B";
+        active += std::to_string(ch + 1);
       }
     }
     cells.push_back(active.empty() ? "-" : active);

@@ -44,7 +44,8 @@ int main() {
     for (std::size_t ch = 0; ch < result.conversion.active.size(); ++ch) {
       if (result.conversion.active[ch]) {
         if (!blocks.empty()) blocks += "+";
-        blocks += "B" + std::to_string(ch + 1);
+        blocks += "B";
+        blocks += std::to_string(ch + 1);
       }
     }
     table.add_row({TablePrinter::num(c.v, 3), blocks,

@@ -172,8 +172,9 @@ EoAdc::TransientResult EoAdc::convert_transient(double v_in,
         active[ch] = v_qp[ch] < config_.no_amp_low_level;
       }
       if (traces != nullptr) {
-        traces->at("qp" + std::to_string(ch)).record(t, v_qp[ch]);
-        traces->at("b" + std::to_string(ch)).record(t, active[ch] ? vdd : 0.0);
+        const std::string suffix = std::to_string(ch);
+        traces->at("qp" + suffix).record(t, v_qp[ch]);
+        traces->at("b" + suffix).record(t, active[ch] ? vdd : 0.0);
       }
     }
     const auto decode = decoder_.decode(active);

@@ -1,0 +1,226 @@
+#include "graph/compile.hpp"
+
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/expects.hpp"
+
+namespace ptc::graph {
+namespace {
+
+constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
+constexpr std::size_t kNoNode = std::numeric_limits<std::size_t>::max();
+
+std::size_t div_ceil(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+std::size_t Step::rows_per_sample() const {
+  if (kind != Kind::kConv2d) return 1;
+  return (in_shape.height() - kernel + 1) * (in_shape.width() - kernel + 1);
+}
+
+CompiledGraph compile(const Graph& g) {
+  const std::vector<Node>& nodes = g.nodes();
+  expects(!nodes.empty() && nodes.front().op == Op::kInput,
+          "graph must start with an input node");
+  const std::size_t output = g.output_id();
+
+  // Dead-code elimination: only nodes reachable from the output lower.
+  std::vector<bool> live(nodes.size(), false);
+  std::vector<std::size_t> stack{output};
+  while (!stack.empty()) {
+    const std::size_t id = stack.back();
+    stack.pop_back();
+    if (live[id]) continue;
+    live[id] = true;
+    for (std::size_t in : nodes[id].inputs) stack.push_back(in);
+  }
+
+  // Consumer lists over live nodes (duplicated per edge, so a node feeding
+  // both sides of an `add` counts twice and stays materialized).
+  std::vector<std::vector<std::size_t>> consumers(nodes.size());
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    if (!live[id]) continue;
+    for (std::size_t in : nodes[id].inputs) consumers[in].push_back(id);
+  }
+
+  CompiledGraph cg;
+  cg.input_shape = nodes.front().shape;
+  cg.output_shape = nodes[output].shape;
+
+  std::vector<std::size_t> slot_of(nodes.size(), kNoSlot);
+  std::vector<bool> emitted(nodes.size(), false);
+  slot_of[0] = 0;
+  emitted[0] = true;
+  cg.num_slots = 1;
+
+  // The sole consumer of `tail` if it can join the current step's epilogue.
+  const auto fusable_consumer = [&](std::size_t tail) -> std::size_t {
+    if (tail == output || consumers[tail].size() != 1) return kNoNode;
+    const std::size_t c = consumers[tail].front();
+    switch (nodes[c].op) {
+      case Op::kRelu:
+      case Op::kBias:
+      case Op::kSoftmax:
+      case Op::kFlatten:
+        return c;
+      case Op::kAdd: {
+        // Residuals fuse when the other branch is already materialized.
+        const std::size_t other = nodes[c].inputs[0] == tail
+                                      ? nodes[c].inputs[1]
+                                      : nodes[c].inputs[0];
+        return slot_of[other] != kNoSlot ? c : kNoNode;
+      }
+      default:
+        return kNoNode;
+    }
+  };
+
+  for (std::size_t id = 1; id < nodes.size(); ++id) {
+    if (!live[id] || emitted[id]) continue;
+    const Node& n = nodes[id];
+
+    if (n.op == Op::kFlatten) {
+      // Pure metadata: the value is already stored flat.
+      slot_of[id] = slot_of[n.inputs[0]];
+      emitted[id] = true;
+      continue;
+    }
+
+    Step step;
+    step.input_slot = slot_of[n.inputs[0]];
+    step.in_shape = nodes[n.inputs[0]].shape;
+    std::ostringstream label;
+    switch (n.op) {
+      case Op::kMatmul:
+        step.kind = Step::Kind::kMatmul;
+        step.weights = n.weights;
+        label << "matmul " << n.weights.rows() << "x" << n.weights.cols();
+        break;
+      case Op::kConv2d:
+        step.kind = Step::Kind::kConv2d;
+        step.weights = n.weights;
+        step.kernel = n.kernel;
+        label << "conv2d " << n.kernel << "x" << n.kernel << " -> "
+              << n.weights.cols() << "ch";
+        break;
+      case Op::kMaxPool:
+        step.kind = Step::Kind::kMaxPool;
+        step.pool = n.pool;
+        label << "maxpool " << n.pool << "x" << n.pool;
+        break;
+      case Op::kRelu:
+        step.epilogue.push_back({EpilogueOp::Kind::kRelu, {}, 0});
+        label << "relu";
+        break;
+      case Op::kBias:
+        step.epilogue.push_back({EpilogueOp::Kind::kBias, n.bias, 0});
+        label << "bias";
+        break;
+      case Op::kSoftmax:
+        step.epilogue.push_back({EpilogueOp::Kind::kSoftmax, {}, 0});
+        label << "softmax";
+        break;
+      case Op::kAdd:
+        step.epilogue.push_back(
+            {EpilogueOp::Kind::kResidual, {}, slot_of[n.inputs[1]]});
+        label << "add";
+        break;
+      case Op::kInput:
+      case Op::kFlatten:
+        ensures(false, "unreachable op in lowering");
+    }
+    emitted[id] = true;
+
+    // Fuse the sole-consumer elementwise chain into this step's epilogue.
+    std::size_t tail = id;
+    for (std::size_t c = fusable_consumer(tail); c != kNoNode;
+         c = fusable_consumer(tail)) {
+      const Node& cn = nodes[c];
+      switch (cn.op) {
+        case Op::kRelu:
+          step.epilogue.push_back({EpilogueOp::Kind::kRelu, {}, 0});
+          label << " +relu";
+          break;
+        case Op::kBias:
+          step.epilogue.push_back({EpilogueOp::Kind::kBias, cn.bias, 0});
+          label << " +bias";
+          break;
+        case Op::kSoftmax:
+          step.epilogue.push_back({EpilogueOp::Kind::kSoftmax, {}, 0});
+          label << " +softmax";
+          break;
+        case Op::kFlatten:
+          break;  // metadata only; the tail's shape absorbs it
+        case Op::kAdd: {
+          const std::size_t other =
+              cn.inputs[0] == tail ? cn.inputs[1] : cn.inputs[0];
+          step.epilogue.push_back(
+              {EpilogueOp::Kind::kResidual, {}, slot_of[other]});
+          label << " +add";
+          break;
+        }
+        default:
+          ensures(false, "unreachable fused op");
+      }
+      emitted[c] = true;
+      tail = c;
+    }
+
+    step.out_shape = nodes[tail].shape;
+    step.output_slot = cg.num_slots++;
+    slot_of[tail] = step.output_slot;
+    step.label = label.str();
+    cg.steps.push_back(std::move(step));
+  }
+
+  ensures(slot_of[output] != kNoSlot, "graph output was never materialized");
+  cg.output_slot = slot_of[output];
+  return cg;
+}
+
+PassProfile CompiledGraph::pass_profile(std::size_t tile_m, std::size_t tile_k,
+                                        bool differential) const {
+  expects(tile_m >= 1 && tile_k >= 1, "tile geometry must be positive");
+  PassProfile profile;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const Step& step = steps[i];
+    if (!step.on_accelerator()) continue;
+    const std::size_t tiles = div_ceil(step.weights.rows(), tile_k) *
+                              div_ceil(step.weights.cols(), tile_m) *
+                              (differential ? 2 : 1);
+    profile.steps.push_back({i, tiles, step.rows_per_sample()});
+    profile.total_passes += tiles;
+  }
+  return profile;
+}
+
+std::string CompiledGraph::schedule_dump(std::size_t tile_m,
+                                         std::size_t tile_k,
+                                         bool differential) const {
+  const PassProfile profile = pass_profile(tile_m, tile_k, differential);
+  std::ostringstream out;
+  std::size_t next_accel = 0;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const Step& step = steps[i];
+    out << "step " << i << ": " << step.label;
+    if (step.on_accelerator()) {
+      const StepPasses& sp = profile.steps[next_accel++];
+      out << " | weights " << step.weights.rows() << "x"
+          << step.weights.cols() << " | " << sp.passes << " tile pass"
+          << (sp.passes == 1 ? "" : "es") << " | " << sp.rows_per_sample
+          << " row" << (sp.rows_per_sample == 1 ? "" : "s") << "/sample";
+    } else {
+      out << " | host";
+    }
+    out << " | " << step.in_shape.str() << " -> " << step.out_shape.str()
+        << "\n";
+  }
+  out << "total: " << profile.total_passes
+      << " weight-tile passes per dispatch\n";
+  return out.str();
+}
+
+}  // namespace ptc::graph

@@ -1,0 +1,26 @@
+#ifndef PTC_GRAPH_EXECUTOR_HPP
+#define PTC_GRAPH_EXECUTOR_HPP
+
+#include "common/linalg.hpp"
+#include "graph/compile.hpp"
+#include "nn/backend.hpp"
+
+/// Interprets a compiled schedule against any nn::MatmulBackend: the float
+/// reference, a single photonic core, or the multi-core accelerator fleet
+/// (runtime::AcceleratorBackend).  Matmul and conv steps execute on the
+/// backend; maxpool and unfused elementwise steps run on the host.  The
+/// step order is the schedule order, the epilogue order is the fusion
+/// order, and every arithmetic loop matches the nn/ layer implementations —
+/// which is why an Mlp lowered through the compiler reproduces its direct
+/// backend path bit for bit.
+namespace ptc::graph {
+
+/// Runs a batch of flattened input rows (batch x input_size) through the
+/// schedule and returns the output values (batch x output_size).  Image
+/// inputs are row-major with channel innermost, matching Shape's layout.
+Matrix run(const CompiledGraph& compiled, nn::MatmulBackend& backend,
+           const Matrix& x);
+
+}  // namespace ptc::graph
+
+#endif  // PTC_GRAPH_EXECUTOR_HPP

@@ -1,0 +1,133 @@
+#ifndef PTC_GRAPH_IR_HPP
+#define PTC_GRAPH_IR_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/linalg.hpp"
+
+/// Dataflow IR for the graph compiler: a small single-input DAG of tensor
+/// ops (dense, convolutional, elementwise, structural) that the compiler in
+/// compile.hpp lowers onto the accelerator's weight-tile pass schedule.
+///
+/// Values flowing along edges are per-sample tensors of rank 1 ({features})
+/// or rank 3 ({h, w, c} images), stored flattened row-major with channel
+/// innermost: index = (i * w + j) * c + ch.  Rank-1 vectors use the same
+/// storage, which is what makes `flatten` a pure metadata operation.
+///
+/// Graphs are built through the typed builder methods below; every method
+/// runs shape inference eagerly and rejects ill-formed wiring via expects(),
+/// so a Graph that exists is a Graph that compiles.  Nodes are append-only
+/// and may only consume earlier nodes, so id order is a topological order —
+/// the property the compiler's single forward sweep relies on.
+namespace ptc::graph {
+
+/// Per-sample tensor shape: {n} features or {h, w, c} images.
+struct Shape {
+  std::vector<std::size_t> dims;
+
+  /// Flattened element count (product of dims; 0 for an empty shape).
+  std::size_t size() const;
+
+  bool is_image() const { return dims.size() == 3; }
+  std::size_t height() const { return dims.size() == 3 ? dims[0] : 1; }
+  std::size_t width() const { return dims.size() == 3 ? dims[1] : 1; }
+  /// Innermost dimension: channels for images, features for vectors.
+  std::size_t channels() const;
+
+  bool operator==(const Shape& other) const { return dims == other.dims; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// "8x8x1" / "64" — used in dumps and error messages.
+  std::string str() const;
+};
+
+/// Operator set: everything a CNN / residual network needs.
+enum class Op {
+  kInput,    ///< the graph's single entry point
+  kMatmul,   ///< dense y = x W (weights k x m)
+  kConv2d,   ///< valid square conv (weights (k*k*c_in) x c_out)
+  kRelu,     ///< elementwise max(0, x)
+  kBias,     ///< per-channel (or per-feature) additive bias
+  kAdd,      ///< elementwise sum of two same-shape values (residual)
+  kMaxPool,  ///< non-overlapping window max per channel
+  kFlatten,  ///< {h, w, c} -> {h*w*c} (metadata only)
+  kSoftmax,  ///< row-wise softmax over a feature vector
+};
+
+const char* op_name(Op op);
+
+/// One IR node.  Only the fields relevant to `op` are populated.
+struct Node {
+  Op op = Op::kInput;
+  std::vector<std::size_t> inputs;  ///< producer node ids (all < own id)
+  Shape shape;                      ///< inferred output shape
+
+  Matrix weights;            ///< kMatmul: k x m; kConv2d: (k*k*c_in) x c_out
+  std::vector<double> bias;  ///< kBias: length == shape.channels()
+  std::size_t kernel = 0;    ///< kConv2d: square kernel side
+  std::size_t pool = 0;      ///< kMaxPool: window == stride
+};
+
+/// Builder + container.  The last node added is the graph output unless
+/// mark_output() chose another.
+class Graph {
+ public:
+  using NodeId = std::size_t;
+
+  /// The single entry point; must be the first node added.
+  NodeId input(Shape shape);
+
+  /// Dense product with a k x m weight matrix (input must be rank 1, k wide).
+  NodeId matmul(NodeId x, Matrix w);
+
+  /// Valid square convolution: input {h, w, c_in}, kernels is the im2col
+  /// weight matrix (kernel_side^2 * c_in) x c_out with patch entries ordered
+  /// (di, dj, ch) — the layout the compiler's im2col emits.  Output is
+  /// {h-k+1, w-k+1, c_out}.
+  NodeId conv2d(NodeId x, Matrix kernels, std::size_t kernel_side);
+
+  /// Adds b[ch] to every position of channel ch (features for rank 1).
+  NodeId bias(NodeId x, std::vector<double> b);
+
+  NodeId relu(NodeId x);
+
+  /// Residual connection: elementwise a + b, shapes must match exactly.
+  NodeId add(NodeId a, NodeId b);
+
+  /// Non-overlapping window max per channel; trailing rows/cols that do not
+  /// fill a window are dropped (floor semantics).
+  NodeId maxpool(NodeId x, std::size_t window);
+
+  /// {h, w, c} -> {h*w*c}.  Free: storage is already flat.
+  NodeId flatten(NodeId x);
+
+  /// Row-wise softmax (input must be rank 1).
+  NodeId softmax(NodeId x);
+
+  /// Selects the node whose value run() returns (defaults to the last).
+  void mark_output(NodeId id);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& node(NodeId id) const;
+  std::size_t size() const { return nodes_.size(); }
+  NodeId output_id() const;
+  const Shape& input_shape() const;
+  const Shape& output_shape() const;
+
+  /// Human-readable node listing, one line per node.
+  std::string dump() const;
+
+ private:
+  NodeId append(Node node);
+  const Node& producer(NodeId id) const;  ///< node(id) with existence check
+
+  std::vector<Node> nodes_;
+  std::size_t output_ = 0;
+  bool explicit_output_ = false;
+};
+
+}  // namespace ptc::graph
+
+#endif  // PTC_GRAPH_IR_HPP

@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "common/expects.hpp"
+#include "graph/executor.hpp"
+#include "graph/models.hpp"
 
 namespace ptc::nn {
 
@@ -15,11 +17,15 @@ Mlp::Mlp(std::size_t in, std::size_t hidden, std::size_t out, Rng& rng)
   const double s2 = std::sqrt(1.0 / static_cast<double>(hidden));
   for (double& v : layer1_.w.data()) v = rng.normal(0.0, s1);
   for (double& v : layer2_.w.data()) v = rng.normal(0.0, s2);
+  compiled_ = graph::compile(graph());
+}
+
+graph::Graph Mlp::graph() const {
+  return graph::mlp_graph(layer1_.w, layer1_.b, layer2_.w, layer2_.b);
 }
 
 Matrix Mlp::forward(MatmulBackend& backend, const Matrix& x) const {
-  const Matrix h = relu(layer1_.forward(backend, x));
-  return layer2_.forward(backend, h);
+  return graph::run(compiled_, backend, x);
 }
 
 std::vector<std::size_t> Mlp::predict(MatmulBackend& backend,
@@ -99,6 +105,8 @@ double Mlp::train_epoch(const Dataset& data, double learning_rate,
     }
     ++batches;
   }
+  // The weights changed: relower the schedule over the new values.
+  compiled_ = graph::compile(graph());
   return loss_sum / static_cast<double>(data.size());
 }
 

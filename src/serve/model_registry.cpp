@@ -3,34 +3,31 @@
 #include <utility>
 
 #include "common/expects.hpp"
+#include "graph/executor.hpp"
 
 namespace ptc::serve {
-namespace {
-
-std::size_t div_ceil(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
-
-}  // namespace
 
 ModelRegistry::ModelRegistry(runtime::Accelerator& accelerator,
                              const nn::PhotonicBackendOptions& options)
     : accelerator_(accelerator), backend_(accelerator, options) {}
 
-void ModelRegistry::add(const std::string& name, nn::Mlp model) {
+void ModelRegistry::add(const std::string& name, const nn::Mlp& model) {
+  add_graph(name, model.graph());
+}
+
+void ModelRegistry::add_graph(const std::string& name, const graph::Graph& g) {
   expects(!name.empty(), "model name must be non-empty");
   expects(!contains(name), "model name already registered");
 
-  // Pass counts mirror nn::plan_tiled_matmul: a k x m weight matrix cuts
-  // into ceil(k / cols) x ceil(m / rows) tiles, twice under the
+  // The pass profile mirrors nn::plan_tiled_matmul: a k x m weight matrix
+  // cuts into ceil(k / cols) x ceil(m / rows) tiles, twice under the
   // differential W+/W- encoding.
   const core::TensorCore& probe = accelerator_.core(0);
-  const std::size_t per_tile =
-      backend_.options().differential_weights ? 2 : 1;
-  std::vector<std::size_t> layer_passes;
-  for (const nn::DenseLayer* layer : {&model.layer1(), &model.layer2()}) {
-    layer_passes.push_back(div_ceil(layer->w.rows(), probe.cols()) *
-                           div_ceil(layer->w.cols(), probe.rows()) * per_tile);
-  }
-  models_.emplace(name, Entry{std::move(model), std::move(layer_passes)});
+  Entry entry;
+  entry.compiled = graph::compile(g);
+  entry.profile = entry.compiled.pass_profile(
+      probe.rows(), probe.cols(), backend_.options().differential_weights);
+  models_.emplace(name, std::move(entry));
 }
 
 bool ModelRegistry::contains(const std::string& name) const {
@@ -44,18 +41,17 @@ const ModelRegistry::Entry& ModelRegistry::entry(
   return it->second;
 }
 
-const nn::Mlp& ModelRegistry::model(const std::string& name) const {
-  return entry(name).model;
+const graph::CompiledGraph& ModelRegistry::compiled(
+    const std::string& name) const {
+  return entry(name).compiled;
 }
 
 std::size_t ModelRegistry::input_width(const std::string& name) const {
-  return entry(name).model.layer1().w.rows();
+  return entry(name).compiled.input_size();
 }
 
 std::size_t ModelRegistry::passes(const std::string& name) const {
-  std::size_t total = 0;
-  for (std::size_t layer : entry(name).layer_passes) total += layer;
-  return total;
+  return entry(name).profile.total_passes;
 }
 
 bool ModelRegistry::fits_resident(const std::string& name) const {
@@ -66,19 +62,19 @@ BatchDispatch ModelRegistry::run_batch(const std::string& name,
                                        const Matrix& x) {
   const Entry& e = entry(name);
   expects(x.rows() >= 1, "batch must contain at least one request");
-  expects(x.cols() == input_width(name),
+  expects(x.cols() == e.compiled.input_size(),
           "batch width does not match the model input width");
 
   const bool warm = resident_ == name && fits_resident(name);
   BatchDispatch out;
-  out.logits = e.model.forward(backend_, x);
-  for (std::size_t layer_passes : e.layer_passes) {
+  out.logits = graph::run(e.compiled, backend_, x);
+  for (const graph::StepPasses& sp : e.profile.steps) {
     const runtime::BatchCost cost = accelerator_.batch_cost(
-        layer_passes, warm ? layer_passes : 0, x.rows());
+        sp.passes, warm ? sp.passes : 0, x.rows() * sp.rows_per_sample);
     out.latency += cost.latency;
     out.busy += cost.busy;
-    out.passes += layer_passes;
-    if (warm) out.warm_passes += layer_passes;
+    out.passes += sp.passes;
+    if (warm) out.warm_passes += sp.passes;
   }
   resident_ = fits_resident(name) ? name : std::string();
   return out;

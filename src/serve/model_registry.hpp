@@ -7,16 +7,21 @@
 #include <vector>
 
 #include "common/linalg.hpp"
+#include "graph/compile.hpp"
+#include "graph/ir.hpp"
 #include "nn/backend.hpp"
 #include "nn/mlp.hpp"
 #include "runtime/accelerator.hpp"
 #include "runtime/backend.hpp"
 
-/// Named model store with weight-tile residency accounting.  The registry
-/// knows how many pSRAM residencies a batch of each model streams, and
-/// whether the previous dispatch left those tiles on the fleet — the signal
-/// the DynamicBatcher uses to favor batches that skip reloads entirely,
-/// which is the serving-side payoff of the paper's 20 GHz weight-streaming
+/// Named model store over compiled graphs, with weight-tile residency
+/// accounting.  Every registered model — an nn::Mlp or any dataflow graph
+/// (CNNs, residual nets) — is lowered through the graph compiler at
+/// registration; the resulting schedule's pass profile tells the registry
+/// how many pSRAM residencies one batch streams per step, and whether the
+/// previous dispatch left those tiles on the fleet — the signal the
+/// DynamicBatcher uses to favor batches that skip reloads entirely, which
+/// is the serving-side payoff of the paper's 20 GHz weight-streaming
 /// argument.
 namespace ptc::serve {
 
@@ -35,21 +40,28 @@ class ModelRegistry {
   explicit ModelRegistry(runtime::Accelerator& accelerator,
                          const nn::PhotonicBackendOptions& options = {});
 
-  /// Registers a model under `name` (must be unique).
-  void add(const std::string& name, nn::Mlp model);
+  /// Registers an MLP under `name` (must be unique): lowers the model's
+  /// graph and keeps the compiled schedule.
+  void add(const std::string& name, const nn::Mlp& model);
+
+  /// Registers an arbitrary dataflow graph under `name` (must be unique) —
+  /// how CNN and residual workloads enter the serving layer.
+  void add_graph(const std::string& name, const graph::Graph& g);
 
   /// The fleet every registered model executes on.
   runtime::Accelerator& accelerator() { return accelerator_; }
 
   bool contains(const std::string& name) const;
-  const nn::Mlp& model(const std::string& name) const;
   std::size_t size() const { return models_.size(); }
 
-  /// Input row width the model expects.
+  /// Compiled schedule of a registered model.
+  const graph::CompiledGraph& compiled(const std::string& name) const;
+
+  /// Input row width the model expects (flattened input shape).
   std::size_t input_width(const std::string& name) const;
 
-  /// Weight-tile passes one batch of this model streams (both layers,
-  /// doubled under differential encoding).
+  /// Weight-tile passes one batch of this model streams (all accelerator
+  /// steps of the schedule, doubled under differential encoding).
   std::size_t passes(const std::string& name) const;
 
   /// True when the model's tiles all fit on the fleet simultaneously — the
@@ -61,10 +73,12 @@ class ModelRegistry {
   const std::string& resident_model() const { return resident_; }
 
   /// Executes one batch (x: samples x input_width) on the fleet and
-  /// returns logits plus the modeled batch cost.  Consecutive batches of
-  /// the same resident-fitting model reuse every tile (warm_passes ==
-  /// passes); a model switch, or a model larger than the fleet, pays all
-  /// reloads cold.
+  /// returns logits plus the modeled batch cost, summed over the
+  /// schedule's accelerator steps (conv steps stream rows_per_sample
+  /// im2col rows per request).  Consecutive batches of the same
+  /// resident-fitting model reuse every tile (warm_passes == passes); a
+  /// model switch, or a model larger than the fleet, pays all reloads
+  /// cold.
   BatchDispatch run_batch(const std::string& name, const Matrix& x);
 
   /// Forgets residency state (fresh fleet), e.g. at the start of a run.
@@ -72,8 +86,8 @@ class ModelRegistry {
 
  private:
   struct Entry {
-    nn::Mlp model;
-    std::vector<std::size_t> layer_passes;  ///< per matmul, forward order
+    graph::CompiledGraph compiled;
+    graph::PassProfile profile;  ///< for the fleet's core geometry
   };
 
   const Entry& entry(const std::string& name) const;

@@ -120,7 +120,9 @@ TEST(Integration, PhotonicConvolutionMatchesFloat) {
   for (std::size_t i = 0; i < actual.rows(); ++i) {
     for (std::size_t j = 0; j < actual.cols(); ++j) {
       EXPECT_NEAR(actual(i, j), expected(i, j), 0.45);
-      if (expected(i, j) > 2.0) EXPECT_GT(actual(i, j), 1.5);
+      if (expected(i, j) > 2.0) {
+        EXPECT_GT(actual(i, j), 1.5);
+      }
     }
   }
 }

@@ -30,7 +30,7 @@ Request make_request(std::size_t id, const std::string& model,
                      double arrival) {
   Request request;
   request.id = id;
-  request.tenant = "t";
+  request.tenant = std::string("t");
   request.model = model;
   request.arrival = arrival;
   request.input = {0.5, 0.25};
@@ -259,7 +259,9 @@ TEST(LoadGenerator, TraceIsSortedDeterministicAndComplete) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].id, i);
     EXPECT_EQ(a[i].input.size(), 32u);
-    if (i > 0) EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+    }
     if (a[i].tenant == "alice") ++alice;
     // Bit-identical regeneration.
     EXPECT_EQ(a[i].tenant, b[i].tenant);

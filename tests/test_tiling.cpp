@@ -1,0 +1,145 @@
+// nn/tiling edge cases the graph compiler leans on: shapes that are not
+// multiples of the 16x16 tile, k = 1 inner dimensions (1x1 convolutions),
+// batch = 1 requests, and single-tile graphs.  Each case checks the plan
+// geometry, the float agreement of the photonic path, and the runtime
+// contract that an N-core fleet reproduces one photonic core bit for bit.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "common/random_matrix.hpp"
+#include "common/rng.hpp"
+#include "core/tensor_core.hpp"
+#include "graph/compile.hpp"
+#include "graph/executor.hpp"
+#include "graph/ir.hpp"
+#include "nn/backend.hpp"
+#include "nn/tiling.hpp"
+#include "runtime/accelerator.hpp"
+#include "runtime/backend.hpp"
+
+namespace {
+
+using namespace ptc;
+using namespace ptc::nn;
+
+/// Photonic (analog readout, differential weights) vs float reference, plus
+/// the fleet-vs-single-core bit-identity, for an s x k times k x m matmul.
+void check_shape(std::size_t s, std::size_t k, std::size_t m,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  const Matrix x = random_activations(s, k, rng);
+  const Matrix w = random_signed(k, m, rng);
+
+  FloatBackend reference;
+  const Matrix expected = reference.matmul(x, w);
+
+  PhotonicBackendOptions options;
+  options.quantize_output = false;
+  options.differential_weights = true;
+
+  core::TensorCore core;
+  PhotonicBackend photonic(core, options);
+  const Matrix single = photonic.matmul(x, w);
+
+  // 3-bit pSRAM weights bound the analog error; the shapes must still agree
+  // to within the quantization budget (max |w| * half an LSB per term).
+  const double tolerance =
+      static_cast<double>(k) * 1.0 / (2.0 * 7.0) + 1e-9;
+  EXPECT_LT(single.max_abs_diff(expected), tolerance)
+      << "shape " << s << "x" << k << " * " << k << "x" << m;
+
+  runtime::Accelerator accelerator({.cores = 3});
+  const Matrix fleet = accelerator.matmul(x, w, options);
+  EXPECT_EQ(fleet.max_abs_diff(single), 0.0)
+      << "fleet diverged at " << s << "x" << k << " * " << k << "x" << m;
+}
+
+TEST(TilingEdgeCases, NonMultipleOf16Shapes) {
+  Rng x_rng(1);
+  Matrix x = random_activations(5, 17, x_rng);
+  Rng w_rng(2);
+  const Matrix w = random_signed(17, 23, w_rng);
+  const TilePlan plan = plan_tiled_matmul(x, w, 16, 16, false);
+  EXPECT_EQ(plan.k_tiles(), 2u);
+  EXPECT_EQ(plan.m_tiles(), 2u);
+  EXPECT_EQ(plan.passes.size(), 4u);
+
+  Rng x2_rng(3);
+  Matrix x2 = random_activations(5, 17, x2_rng);
+  const TilePlan differential = plan_tiled_matmul(x2, w, 16, 16, true);
+  EXPECT_EQ(differential.passes.size(), 8u);
+
+  check_shape(5, 17, 23, 100);
+  check_shape(3, 31, 7, 101);
+}
+
+TEST(TilingEdgeCases, InnerDimensionOfOne) {
+  // k = 1: one input column drives every output — the 1x1-conv shape.
+  Rng x_rng(4);
+  Matrix x = random_activations(4, 1, x_rng);
+  Rng w_rng(5);
+  const Matrix w = random_signed(1, 20, w_rng);
+  const TilePlan plan = plan_tiled_matmul(x, w, 16, 16, false);
+  EXPECT_EQ(plan.k_tiles(), 1u);
+  EXPECT_EQ(plan.m_tiles(), 2u);
+
+  check_shape(4, 1, 20, 102);
+  check_shape(1, 1, 1, 103);
+}
+
+TEST(TilingEdgeCases, BatchOfOne) {
+  // One request row: the latency-critical serving shape.
+  Rng x_rng(6);
+  Matrix x = random_activations(1, 40, x_rng);
+  Rng w_rng(7);
+  const Matrix w = random_signed(40, 12, w_rng);
+  const TilePlan plan = plan_tiled_matmul(x, w, 16, 16, false);
+  EXPECT_EQ(plan.samples, 1u);
+  EXPECT_EQ(plan.passes.size(), 3u);  // ceil(40/16) x ceil(12/16)
+
+  check_shape(1, 40, 12, 104);
+}
+
+TEST(TilingEdgeCases, SingleTileFitsWithoutPaddingArtifacts) {
+  // Shapes inside one 16x16 tile: exactly one pass, and the zero-padded
+  // tail columns must contribute nothing.
+  Rng x_rng(8);
+  Matrix x = random_activations(4, 8, x_rng);
+  Rng w_rng(9);
+  const Matrix w = random_signed(8, 8, w_rng);
+  const TilePlan plan = plan_tiled_matmul(x, w, 16, 16, false);
+  EXPECT_EQ(plan.passes.size(), 1u);
+
+  check_shape(4, 8, 8, 105);
+  check_shape(2, 16, 16, 106);  // exact tile boundary
+}
+
+TEST(TilingEdgeCases, SingleTileGraphRunsOnTheFleetBitIdentically) {
+  // A whole graph whose every matmul is one tile — the smallest compiled
+  // schedule the serving layer can mark fully resident.
+  Rng rng(10);
+  graph::Graph g;
+  const auto x = g.input(graph::Shape{{8}});
+  auto v = g.matmul(x, random_signed(8, 8, rng));
+  v = g.bias(v, std::vector<double>(8, 0.1));
+  g.relu(v);
+  const graph::CompiledGraph compiled = graph::compile(g);
+  EXPECT_EQ(compiled.pass_profile(16, 16, false).total_passes, 1u);
+
+  Rng data_rng(11);
+  const Matrix input = random_activations(6, 8, data_rng);
+
+  PhotonicBackendOptions options;
+  options.differential_weights = true;
+  core::TensorCore core;
+  PhotonicBackend photonic(core, options);
+  const Matrix single = graph::run(compiled, photonic, input);
+
+  runtime::Accelerator accelerator({.cores = 5});
+  runtime::AcceleratorBackend fleet(accelerator, options);
+  const Matrix multi = graph::run(compiled, fleet, input);
+  EXPECT_EQ(multi.max_abs_diff(single), 0.0);
+}
+
+}  // namespace
