@@ -1,0 +1,180 @@
+// Wall-clock throughput of the calibrated fast path vs the spectral physics
+// walk across fleet sizes and batch sizes, on the serving-style matmul the
+// request scheduler dispatches all day: (batch x 128) * (128 x 64) with the
+// default hardware options (3-bit eoADC readout, offset weight encoding).
+//
+// Unlike the other benches, the metric here is *simulation* wall-clock —
+// samples simulated per host second — because simulation speed, not modeled
+// hardware time, is what bounds how large a fleet / how much traffic the
+// serving and scaling studies can sweep.  Both paths produce bit-identical
+// results (asserted per row); the fast path just replays the calibrated
+// per-weight-load gains instead of re-deriving static device physics per
+// sample.
+//
+// Emits BENCH_perf.json (machine-readable, for the perf trajectory) and
+// exits nonzero if the acceptance row (8 cores, batch 256) speeds up less
+// than 5x — the CI perf-smoke gate.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/random_matrix.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "runtime/accelerator.hpp"
+
+namespace {
+
+using namespace ptc;
+using namespace ptc::runtime;
+
+constexpr std::size_t kInner = 128;    // k: 8 input tiles
+constexpr std::size_t kOutputs = 64;   // m: 4 output tiles
+constexpr std::size_t kAcceptCores = 8;
+constexpr std::size_t kAcceptBatch = 256;
+constexpr double kAcceptSpeedup = 5.0;
+
+struct Row {
+  std::size_t cores = 0;
+  std::size_t batch = 0;
+  bool quantize = true;
+  double fast_samples_per_s = 0.0;
+  double physics_samples_per_s = 0.0;
+  double speedup = 0.0;
+  bool bit_identical = false;
+};
+
+double seconds_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Steady-state samples/s of repeated matmul dispatches.  A batch-1
+/// warm-up dispatch populates the weight-plan cache and per-core
+/// calibrations so the timed dispatches measure serving steady-state.
+double measure(Accelerator& accelerator, const Matrix& x, const Matrix& w,
+               const nn::PhotonicBackendOptions& options, Matrix* result,
+               double min_time_s) {
+  Matrix warm_x(1, x.cols());
+  for (std::size_t c = 0; c < x.cols(); ++c) warm_x(0, c) = x(0, c);
+  accelerator.matmul(warm_x, w, options);
+  std::size_t reps = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    *result = accelerator.matmul(x, w, options);
+    ++reps;
+    elapsed = seconds_since(t0);
+  } while (elapsed < min_time_s);
+  return static_cast<double>(x.rows() * reps) / elapsed;
+}
+
+Row run_config(std::size_t cores, std::size_t batch, bool quantize,
+               const Matrix& w) {
+  Rng rng(7 + batch);
+  const Matrix x = random_activations(batch, kInner, rng);
+  nn::PhotonicBackendOptions options;
+  options.quantize_output = quantize;
+
+  AcceleratorConfig fast_config{.cores = cores};
+  AcceleratorConfig physics_config{.cores = cores};
+  physics_config.core.fast_path = false;
+  Accelerator fast(fast_config);
+  Accelerator physics(physics_config);
+
+  Row row;
+  row.cores = cores;
+  row.batch = batch;
+  row.quantize = quantize;
+  Matrix y_fast, y_physics;
+  row.fast_samples_per_s = measure(fast, x, w, options, &y_fast, 0.2);
+  // The physics walk is orders of magnitude slower; a single timed
+  // dispatch after warm-up is representative (no allocation jitter left).
+  row.physics_samples_per_s = measure(physics, x, w, options, &y_physics, 0.0);
+  row.speedup = row.fast_samples_per_s / row.physics_samples_per_s;
+  row.bit_identical = y_fast.max_abs_diff(y_physics) == 0.0;
+  return row;
+}
+
+std::string json_row(const Row& row) {
+  std::ostringstream out;
+  out << "    {\"cores\": " << row.cores << ", \"batch\": " << row.batch
+      << ", \"quantize_output\": " << (row.quantize ? "true" : "false")
+      << ", \"fast_samples_per_s\": " << row.fast_samples_per_s
+      << ", \"physics_samples_per_s\": " << row.physics_samples_per_s
+      << ", \"speedup\": " << row.speedup
+      << ", \"bit_identical\": " << (row.bit_identical ? "true" : "false")
+      << "}";
+  return out.str();
+}
+
+}  // namespace
+
+int main() {
+  Rng w_rng(2026);
+  const Matrix w = random_signed(kInner, kOutputs, w_rng);
+
+  std::cout << "fast path vs physics path, (batch x " << kInner << ") * ("
+            << kInner << " x " << kOutputs << "), wall-clock samples/s\n\n";
+
+  std::vector<Row> rows;
+  TablePrinter table({"cores", "batch", "readout", "fast samp/s",
+                      "physics samp/s", "speedup", "bit-identical"});
+  for (const std::size_t cores : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{8}}) {
+    for (const std::size_t batch : {std::size_t{16}, std::size_t{64},
+                                    std::size_t{256}}) {
+      rows.push_back(run_config(cores, batch, /*quantize=*/true, w));
+    }
+  }
+  // One analog-readout row at the acceptance point: with the eoADC walk out
+  // of the loop the linearized core shows its full depth.
+  rows.push_back(run_config(kAcceptCores, kAcceptBatch, /*quantize=*/false, w));
+
+  bool all_identical = true;
+  for (const Row& row : rows) {
+    table.add_row({std::to_string(row.cores), std::to_string(row.batch),
+                   row.quantize ? "eoADC" : "analog",
+                   TablePrinter::num(row.fast_samples_per_s, 6),
+                   TablePrinter::num(row.physics_samples_per_s, 6),
+                   TablePrinter::num(row.speedup, 4),
+                   row.bit_identical ? "yes" : "NO"});
+    all_identical = all_identical && row.bit_identical;
+  }
+  table.print(std::cout);
+
+  double accept_speedup = 0.0;
+  for (const Row& row : rows) {
+    if (row.cores == kAcceptCores && row.batch == kAcceptBatch &&
+        row.quantize) {
+      accept_speedup = row.speedup;
+    }
+  }
+  const bool pass = all_identical && accept_speedup >= kAcceptSpeedup;
+  std::cout << "\nacceptance (" << kAcceptCores << " cores, batch "
+            << kAcceptBatch << ", eoADC): " << TablePrinter::num(accept_speedup, 4)
+            << "x (need >= " << kAcceptSpeedup << "x, bit-identical): "
+            << (pass ? "PASS" : "FAIL") << "\n";
+
+  std::ofstream json("BENCH_perf.json");
+  json << "{\n  \"bench\": \"perf_matmul\",\n"
+       << "  \"matmul\": {\"k\": " << kInner << ", \"m\": " << kOutputs
+       << "},\n"
+       << "  \"acceptance\": {\"cores\": " << kAcceptCores
+       << ", \"batch\": " << kAcceptBatch
+       << ", \"min_speedup\": " << kAcceptSpeedup
+       << ", \"speedup\": " << accept_speedup
+       << ", \"pass\": " << (pass ? "true" : "false") << "},\n"
+       << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    json << json_row(rows[i]) << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote BENCH_perf.json\n";
+
+  return pass ? 0 : 1;
+}

@@ -41,6 +41,14 @@ struct TensorCoreConfig {
   /// Digital control + clock distribution power [W].
   double control_power = 160e-3;
   double wall_plug_efficiency = tech_wall_plug;
+  /// Calibrated fast path: at load_weights time the core freezes every
+  /// macro's ring-chain transmissions (they only change at weight load) and
+  /// multiply_analog replays the photocurrent sum over the cached gains
+  /// instead of re-walking the spectral physics per sample.  The replay uses
+  /// the identical floating-point operation sequence, so results are
+  /// bit-identical to the physics walk (which remains available as the
+  /// reference oracle when this is false).
+  bool fast_path = true;
 };
 
 class TensorCore {
@@ -80,6 +88,15 @@ class TensorCore {
   /// Batched multiply: each row of `inputs` (n_samples x cols) is one input
   /// vector; returns n_samples x rows of ADC codes scaled to [0, 1].
   Matrix multiply_batch(const Matrix& inputs);
+
+  /// Batched analog multiply: each row of `inputs` (n_samples x cols) is one
+  /// input vector; returns n_samples x rows of normalized analog row values.
+  /// Like multiply_analog, this does not advance the sample/energy ledger.
+  Matrix multiply_analog_batch(const Matrix& inputs);
+
+  /// True when the calibrated fast path is armed (config.fast_path and
+  /// weights have been loaded since).
+  bool fast_path_active() const { return fast_.valid; }
 
   /// Digital reference: exact dot products of the *stored* integer weights
   /// with the inputs, normalized like the analog path.
@@ -121,6 +138,47 @@ class TensorCore {
   EoAdc& adc(std::size_t row);
 
  private:
+  /// Weight-load-time linearization of the analog multiply.  The physics
+  /// walk per sample is (per macro): encode the comb lines, split them into
+  /// binary-weighted bit-row taps, and attenuate each tap channel by the
+  /// transmission of the whole ring chain of that bit row.  Every factor in
+  /// that chain except the input itself is frozen between weight loads, so
+  /// it is cached here and replayed per sample with the identical
+  /// floating-point operation sequence (canonical channel-, bit-row-,
+  /// tile-order summation) — bit-identical to the physics walk by
+  /// construction.
+  struct FastGains {
+    bool valid = false;
+    double comb_power = 0.0;     ///< per-line comb power [W]
+    double encoder_loss = 0.0;   ///< encoder insertion loss (power ratio)
+    double encoder_floor = 0.0;  ///< finite-extinction leakage floor
+    double tap_factor = 0.0;     ///< per-splitter-stage factor (0.5 * excess)
+    double responsivity = 0.0;   ///< photodiode responsivity [A/W]
+    /// Ring-chain transmissions, [row][tile][bit_row][channel] flattened.
+    /// Shared with the calibration memo — treat as immutable.
+    std::shared_ptr<const std::vector<double>> chain;
+  };
+
+  /// One memoized calibration: the integer weight words that were loaded
+  /// and the chain transmissions they produce.  Serving steady-state
+  /// reloads the same few blocks on the same core every dispatch, so the
+  /// spectral calibration walk runs once per distinct block, not per pass.
+  struct CalibrationEntry {
+    std::vector<std::uint32_t> words;
+    std::shared_ptr<const std::vector<double>> chain;
+  };
+
+  /// Rebuilds (or recalls) the cached gains for the loaded weight words.
+  void calibrate_fast_path(const std::vector<std::uint32_t>& words);
+
+  /// Normalized analog row values for one sample: fast replay when armed,
+  /// full spectral walk otherwise.  `input` has cols() entries; `out` has
+  /// rows() entries.
+  void analog_row_values(const double* input, double* out);
+
+  /// The per-sample physics walk (reference oracle).
+  void analog_row_values_physics(const double* input, double* out);
+
   TensorCoreConfig config_;
   PsramArray psram_;
   /// macros_[row][tile]: each macro covers channels_per_macro columns.
@@ -131,6 +189,10 @@ class TensorCore {
   double readout_gain_ = 1.0;
   circuit::EnergyLedger ledger_;
   std::size_t samples_ = 0;
+  FastGains fast_;
+  std::vector<CalibrationEntry> calibrations_;  ///< MRU-first memo
+  std::vector<double> tap_scratch_;    ///< per-sample tap powers, reused
+  std::vector<double> input_scratch_;  ///< physics-path tile slice, reused
 };
 
 }  // namespace ptc::core

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/expects.hpp"
+#include "nn/tiling.hpp"
 
 namespace ptc::graph {
 namespace {
@@ -173,6 +174,11 @@ CompiledGraph compile(const Graph& g) {
     step.output_slot = cg.num_slots++;
     slot_of[tail] = step.output_slot;
     step.label = label.str();
+    if (step.on_accelerator()) {
+      // One plan cache per weight tensor; filled lazily on first execution
+      // (per backend geometry) and shared by every copy of this schedule.
+      step.plan_cache = std::make_shared<nn::WeightPlanCache>();
+    }
     cg.steps.push_back(std::move(step));
   }
 

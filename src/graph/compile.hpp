@@ -2,10 +2,15 @@
 #define PTC_GRAPH_COMPILE_HPP
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "graph/ir.hpp"
+
+namespace ptc::nn {
+class WeightPlanCache;
+}  // namespace ptc::nn
 
 /// Lowering pass pipeline: Graph -> CompiledGraph, a flat schedule of steps
 /// the executor interprets against any nn::MatmulBackend (and the serve
@@ -56,6 +61,15 @@ struct Step {
 
   std::vector<EpilogueOp> epilogue;  ///< fused elementwise tail, in order
   std::string label;                 ///< e.g. "conv2d 3x3 -> 6ch +bias +relu"
+
+  /// Weight-plan cache for this step's (immutable) weights, created at
+  /// compile time for accelerator steps.  The executor hands it to the
+  /// backend so the signed mapping, pass list, and encoded unit-weight
+  /// blocks are built once per weight version instead of once per batch —
+  /// serving steady-state does zero re-planning and zero re-encoding.
+  /// Shared (not deep-copied) when the compiled graph is copied: the cache
+  /// is keyed by weight contents, so sharing is always safe.
+  std::shared_ptr<nn::WeightPlanCache> plan_cache;
 
   bool on_accelerator() const {
     return kind == Kind::kMatmul || kind == Kind::kConv2d;

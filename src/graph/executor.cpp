@@ -6,9 +6,21 @@
 
 #include "common/expects.hpp"
 #include "nn/layers.hpp"
+#include "nn/tiling.hpp"
 
 namespace ptc::graph {
 namespace {
+
+/// Backend matmul through the step's weight-plan cache when it has one
+/// (accelerator steps compiled by graph::compile), so per-batch execution
+/// skips the weight-side planning and encoding entirely.
+Matrix step_matmul(nn::MatmulBackend& backend, const Step& step,
+                   const Matrix& x) {
+  if (step.plan_cache != nullptr) {
+    return backend.matmul_cached(x, step.weights, *step.plan_cache);
+  }
+  return backend.matmul(x, step.weights);
+}
 
 /// Stacked im2col conv: every output position of every sample becomes one
 /// row of a single backend matmul, so the whole batch streams through each
@@ -40,7 +52,7 @@ Matrix conv2d_step(nn::MatmulBackend& backend, const Step& step,
     }
   }
 
-  const Matrix flat = backend.matmul(patches, step.weights);
+  const Matrix flat = step_matmul(backend, step, patches);
 
   // Repack (sample*position) x c_out rows into per-sample flat images.
   Matrix out(in.rows(), positions * c_out);
@@ -124,7 +136,7 @@ Matrix run(const CompiledGraph& compiled, nn::MatmulBackend& backend,
     Matrix out;
     switch (step.kind) {
       case Step::Kind::kMatmul:
-        out = backend.matmul(in, step.weights);
+        out = step_matmul(backend, step, in);
         break;
       case Step::Kind::kConv2d:
         out = conv2d_step(backend, step, in);

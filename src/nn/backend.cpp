@@ -14,16 +14,21 @@ PhotonicBackend::PhotonicBackend(core::TensorCore& core,
     : core_(core), options_(options) {}
 
 Matrix PhotonicBackend::matmul(const Matrix& x, const Matrix& w) {
-  Matrix x_norm = x;
-  const TilePlan plan =
-      plan_tiled_matmul(x_norm, w, core_.rows(), core_.cols(),
-                        options_.differential_weights);
+  return matmul_cached(x, w, plan_cache_);
+}
+
+Matrix PhotonicBackend::matmul_cached(const Matrix& x, const Matrix& w,
+                                      WeightPlanCache& cache) {
+  Matrix x_norm;
+  const TilePlan plan = plan_from_weights(
+      cache.get(w, core_.rows(), core_.cols(), options_.differential_weights),
+      x, x_norm);
 
   Matrix y(plan.samples, plan.m, 0.0);
-  for (const TilePass& pass : plan.passes) {
+  for (std::size_t i = 0; i < plan.passes.size(); ++i) {
     const TilePassResult result =
-        run_tile_pass(core_, plan, pass, x_norm, w, options_);
-    accumulate_pass(y, plan, pass, result.contribution);
+        run_tile_pass(core_, plan, i, x_norm, options_);
+    accumulate_pass(y, plan, plan.passes[i], result.contribution);
     reload_time_ += result.reload_time;
     ++tile_loads_;
   }

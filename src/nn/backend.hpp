@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "common/linalg.hpp"
 #include "core/tensor_core.hpp"
@@ -12,6 +14,43 @@
 /// same model runs digitally or on the simulated hardware.
 namespace ptc::nn {
 
+struct WeightPlan;
+
+/// Content-keyed store of weight-dependent tile plans (see nn/tiling.hpp).
+/// Planning a tiled matmul splits into a weight half — signed mapping, pass
+/// list, encoded unit-weight blocks — and an input half (batch size,
+/// activation scale).  The weight half is cached here so serving
+/// steady-state pays zero re-planning and zero re-encoding per dispatch.
+///
+/// Entries are keyed by tile geometry, encoding mode, and the *contents* of
+/// the weight matrix: a changed weight (new model version, a training step)
+/// can never be served a stale plan — the equality probe misses and the
+/// plan is rebuilt.  Thread-safe; share one cache per weight tensor (the
+/// graph compiler attaches one to every accelerator step) or per backend.
+class WeightPlanCache {
+ public:
+  /// Plans are dropped least-recently-used beyond `capacity` entries.
+  explicit WeightPlanCache(std::size_t capacity = 8);
+
+  /// Returns the cached plan for (w, geometry, encoding), building it on
+  /// the first call and after any change to w's contents.
+  std::shared_ptr<const WeightPlan> get(const Matrix& w, std::size_t tile_m,
+                                        std::size_t tile_k, bool differential);
+
+  /// Forgets every cached plan.
+  void invalidate();
+
+  /// Number of plan builds performed (misses), for tests and diagnostics.
+  std::size_t builds() const;
+
+ private:
+  mutable std::mutex mu_;
+  /// Most-recently-used first.
+  std::vector<std::shared_ptr<const WeightPlan>> entries_;
+  std::size_t capacity_;
+  std::size_t builds_ = 0;
+};
+
 class MatmulBackend {
  public:
   virtual ~MatmulBackend() = default;
@@ -19,6 +58,15 @@ class MatmulBackend {
   /// Computes x (s x k) times w (k x m) -> (s x m).  `x` must be
   /// non-negative (intensity-encoded); `w` may be signed.
   virtual Matrix matmul(const Matrix& x, const Matrix& w) = 0;
+
+  /// Like matmul, with a caller-owned plan cache for the weight-dependent
+  /// tiling work (the graph executor passes each step's cache).  Backends
+  /// that do not tile ignore the cache.
+  virtual Matrix matmul_cached(const Matrix& x, const Matrix& w,
+                               WeightPlanCache& cache) {
+    (void)cache;
+    return matmul(x, w);
+  }
 
   virtual const char* name() const = 0;
 };
@@ -58,6 +106,8 @@ class PhotonicBackend final : public MatmulBackend {
                   const PhotonicBackendOptions& options = {});
 
   Matrix matmul(const Matrix& x, const Matrix& w) override;
+  Matrix matmul_cached(const Matrix& x, const Matrix& w,
+                       WeightPlanCache& cache) override;
   const char* name() const override { return "photonic"; }
 
   /// Number of weight-tile loads performed so far (each one is a full
@@ -71,6 +121,7 @@ class PhotonicBackend final : public MatmulBackend {
  private:
   core::TensorCore& core_;
   PhotonicBackendOptions options_;
+  WeightPlanCache plan_cache_;
   std::size_t tile_loads_ = 0;
   double reload_time_ = 0.0;
 };

@@ -47,14 +47,32 @@ Matrix to_unit_matrix(const Matrix& w, const SignedMapping& mapping) {
   return out;
 }
 
-double normalize_activations(Matrix& x) {
+namespace {
+
+/// Validated max-element scale of an activation matrix (1 when all zero).
+double activation_scale(const Matrix& x) {
   double max_val = 0.0;
   for (double v : x.data()) {
     expects(v >= 0.0, "activations must be non-negative (intensity encoding)");
     max_val = std::max(max_val, v);
   }
-  const double scale = max_val > 0.0 ? max_val : 1.0;
+  return max_val > 0.0 ? max_val : 1.0;
+}
+
+}  // namespace
+
+double normalize_activations(Matrix& x) {
+  const double scale = activation_scale(x);
   for (double& v : x.data()) v /= scale;
+  return scale;
+}
+
+double normalized_activations(const Matrix& x, Matrix& out) {
+  const double scale = activation_scale(x);
+  out = Matrix(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.data().size(); ++i) {
+    out.data()[i] = x.data()[i] / scale;
+  }
   return scale;
 }
 

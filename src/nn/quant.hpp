@@ -55,6 +55,12 @@ Matrix to_unit_matrix(const Matrix& w, const SignedMapping& mapping);
 /// Returns the scale (max element; 1 when all zero).
 double normalize_activations(Matrix& x);
 
+/// Normalized copy: writes x / scale into `out` (resized to x's shape)
+/// without mutating x and without the intermediate full copy a
+/// copy-then-normalize pays.  Bit-identical to normalize_activations on a
+/// copy of x; returns the scale.
+double normalized_activations(const Matrix& x, Matrix& out);
+
 }  // namespace ptc::nn
 
 #endif  // PTC_NN_QUANT_HPP

@@ -2,47 +2,121 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/expects.hpp"
 
 namespace ptc::nn {
 
-TilePlan plan_tiled_matmul(Matrix& x, const Matrix& w, std::size_t tile_m,
-                           std::size_t tile_k, bool differential) {
-  expects(x.cols() == w.rows(), "matmul inner dimensions must agree");
+WeightPlanCache::WeightPlanCache(std::size_t capacity) : capacity_(capacity) {
+  expects(capacity >= 1, "plan cache needs at least one slot");
+}
+
+std::shared_ptr<const WeightPlan> WeightPlanCache::get(const Matrix& w,
+                                                       std::size_t tile_m,
+                                                       std::size_t tile_k,
+                                                       bool differential) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    const WeightPlan& p = **it;
+    // Content-keyed: geometry probe first, then element equality.  A weight
+    // matrix whose values changed can never be served a stale plan.
+    if (p.tile_m == tile_m && p.tile_k == tile_k &&
+        p.differential == differential && p.source.rows() == w.rows() &&
+        p.source.cols() == w.cols() && p.source.data() == w.data()) {
+      std::shared_ptr<const WeightPlan> hit = *it;
+      entries_.erase(it);
+      entries_.insert(entries_.begin(), hit);
+      return hit;
+    }
+  }
+  std::shared_ptr<const WeightPlan> built =
+      build_weight_plan(w, tile_m, tile_k, differential);
+  ++builds_;
+  entries_.insert(entries_.begin(), built);
+  if (entries_.size() > capacity_) entries_.pop_back();
+  return built;
+}
+
+void WeightPlanCache::invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+std::size_t WeightPlanCache::builds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return builds_;
+}
+
+std::shared_ptr<const WeightPlan> build_weight_plan(const Matrix& w,
+                                                    std::size_t tile_m,
+                                                    std::size_t tile_k,
+                                                    bool differential) {
   expects(tile_m >= 1 && tile_k >= 1, "tile geometry must be positive");
 
-  TilePlan plan;
-  plan.samples = x.rows();
-  plan.k = w.rows();
-  plan.m = w.cols();
-  plan.tile_k = tile_k;
-  plan.tile_m = tile_m;
-  plan.x_scale = normalize_activations(x);
-  plan.mapping = signed_mapping_for(w);
+  auto plan = std::make_shared<WeightPlan>();
+  plan->k = w.rows();
+  plan->m = w.cols();
+  plan->tile_k = tile_k;
+  plan->tile_m = tile_m;
+  plan->differential = differential;
+  plan->mapping = signed_mapping_for(w);
+  plan->source = w;
 
-  plan.passes.reserve(plan.m_tiles() * plan.k_tiles() *
-                      (differential ? 2 : 1));
-  for (std::size_t mt = 0; mt < plan.m_tiles(); ++mt) {
-    for (std::size_t kt = 0; kt < plan.k_tiles(); ++kt) {
+  plan->passes.reserve(plan->m_tiles() * plan->k_tiles() *
+                       (differential ? 2 : 1));
+  for (std::size_t mt = 0; mt < plan->m_tiles(); ++mt) {
+    for (std::size_t kt = 0; kt < plan->k_tiles(); ++kt) {
       if (differential) {
         // W+ pass then W- pass; padded cells are exact zeros.
-        plan.passes.push_back(
+        plan->passes.push_back(
             {mt, kt, TilePass::Encoding::kPositive, +1.0, 0.0});
-        plan.passes.push_back(
+        plan->passes.push_back(
             {mt, kt, TilePass::Encoding::kNegative, -1.0, 0.0});
       } else {
         // Offset encoding; padded cells carry the encoding of w = 0 (0.5)
         // but see zero input, so they contribute nothing.
-        plan.passes.push_back(
+        plan->passes.push_back(
             {mt, kt, TilePass::Encoding::kOffset, +1.0, 0.5});
       }
     }
   }
+
+  plan->encoded.reserve(plan->passes.size());
+  for (const TilePass& pass : plan->passes) {
+    plan->encoded.push_back(encode_weight_block(*plan, pass, w));
+  }
   return plan;
 }
 
-Matrix encode_weight_block(const TilePlan& plan, const TilePass& pass,
+TilePlan plan_from_weights(std::shared_ptr<const WeightPlan> weights,
+                           const Matrix& x, Matrix& x_norm) {
+  expects(weights != nullptr, "weight plan must be non-null");
+  expects(x.cols() == weights->k, "matmul inner dimensions must agree");
+
+  TilePlan plan;
+  plan.samples = x.rows();
+  plan.k = weights->k;
+  plan.m = weights->m;
+  plan.tile_k = weights->tile_k;
+  plan.tile_m = weights->tile_m;
+  plan.mapping = weights->mapping;
+  plan.passes = weights->passes;
+  plan.x_scale = normalized_activations(x, x_norm);
+  plan.weights = std::move(weights);
+  return plan;
+}
+
+TilePlan plan_tiled_matmul(Matrix& x, const Matrix& w, std::size_t tile_m,
+                           std::size_t tile_k, bool differential) {
+  Matrix x_norm;
+  TilePlan plan = plan_from_weights(
+      build_weight_plan(w, tile_m, tile_k, differential), x, x_norm);
+  x = std::move(x_norm);
+  return plan;
+}
+
+Matrix encode_weight_block(const WeightPlan& plan, const TilePass& pass,
                            const Matrix& w) {
   Matrix block(plan.tile_m, plan.tile_k, pass.pad_value);
   for (std::size_t r = 0; r < plan.tile_m; ++r) {
@@ -69,52 +143,64 @@ Matrix encode_weight_block(const TilePlan& plan, const TilePass& pass,
 }
 
 TilePassResult run_tile_pass(core::TensorCore& core, const TilePlan& plan,
-                             const TilePass& pass, const Matrix& x_norm,
-                             const Matrix& w,
+                             std::size_t pass_index, const Matrix& x_norm,
                              const PhotonicBackendOptions& options) {
   expects(core.rows() == plan.tile_m && core.cols() == plan.tile_k,
           "core geometry must match the tile plan");
+  expects(plan.weights != nullptr && pass_index < plan.passes.size(),
+          "pass index out of range for the tile plan");
+  const TilePass& pass = plan.passes[pass_index];
 
   TilePassResult result;
   result.reload_time =
-      core.load_weights_normalized(encode_weight_block(plan, pass, w));
+      core.load_weights_normalized(plan.weights->encoded[pass_index]);
   result.contribution = Matrix(plan.samples, plan.tile_m, 0.0);
+
+  // Gather this pass's input slice once — samples x tile_k, zero-padded at
+  // the tile edge — along with the per-sample input sums the offset
+  // encoding's digital correction needs.
+  Matrix block(plan.samples, plan.tile_k, 0.0);
+  std::vector<double> input_sums(plan.samples, 0.0);
+  const std::size_t k_begin = pass.kt * plan.tile_k;
+  const std::size_t k_count = std::min(plan.tile_k, plan.k - k_begin);
+  for (std::size_t s = 0; s < plan.samples; ++s) {
+    double input_sum = 0.0;
+    for (std::size_t c = 0; c < k_count; ++c) {
+      const double v = x_norm(s, k_begin + c);
+      block(s, c) = v;
+      input_sum += v;
+    }
+    input_sums[s] = input_sum;
+  }
+
+  // Row value t_r ~= sum_c in_c * w_unit_rc / tile_k (normalized).  The
+  // whole batch streams through the residency in one call; under
+  // quantization the readout gain is programmed once for the pass instead
+  // of being toggled around every sample.
+  Matrix t;
+  if (options.quantize_output) {
+    core.set_readout_gain(options.adc_range_gain);
+    t = core.multiply_batch(block);
+    core.set_readout_gain(1.0);
+  } else {
+    t = core.multiply_analog_batch(block);
+  }
 
   const bool offset_correct = pass.encoding == TilePass::Encoding::kOffset;
   for (std::size_t s = 0; s < plan.samples; ++s) {
-    std::vector<double> input(plan.tile_k, 0.0);
-    double input_sum = 0.0;
-    for (std::size_t c = 0; c < plan.tile_k; ++c) {
-      const std::size_t in_idx = pass.kt * plan.tile_k + c;
-      if (in_idx < plan.k) {
-        input[c] = x_norm(s, in_idx);
-        input_sum += input[c];
-      }
-    }
-    // Row value t_r ~= sum_c in_c * w_unit_rc / tile_k (normalized).
-    std::vector<double> t(core.rows());
-    if (options.quantize_output) {
-      core.set_readout_gain(options.adc_range_gain);
-      const auto codes = core.multiply(input);
-      core.set_readout_gain(1.0);
-      const double max_code =
-          static_cast<double>((1u << core.adc(0).bits()) - 1);
-      for (std::size_t r = 0; r < t.size(); ++r) {
-        t[r] = static_cast<double>(codes[r]) / max_code /
-               options.adc_range_gain;
-      }
-    } else {
-      t = core.multiply_analog(input);
-    }
     for (std::size_t r = 0; r < plan.tile_m; ++r) {
       const std::size_t out_idx = pass.mt * plan.tile_m + r;
       if (out_idx >= plan.m) continue;
-      const double unit_dot = t[r] * static_cast<double>(plan.tile_k);
+      const double t_r = options.quantize_output
+                             ? t(s, r) / options.adc_range_gain
+                             : t(s, r);
+      const double unit_dot = t_r * static_cast<double>(plan.tile_k);
       // Offset encoding: sum w * in = scale * (2 * unit_dot - sum in).
       // Differential encoding: the pass directly yields scale * unit_dot.
-      const double dot = offset_correct
-                             ? plan.mapping.scale * (2.0 * unit_dot - input_sum)
-                             : plan.mapping.scale * unit_dot;
+      const double dot =
+          offset_correct
+              ? plan.mapping.scale * (2.0 * unit_dot - input_sums[s])
+              : plan.mapping.scale * unit_dot;
       result.contribution(s, r) = pass.sign * plan.x_scale * dot;
     }
   }

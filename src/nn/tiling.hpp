@@ -2,6 +2,7 @@
 #define PTC_NN_TILING_HPP
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/linalg.hpp"
@@ -21,6 +22,12 @@
 /// contribution matrices in the canonical `TilePlan::passes` order
 /// reproduces the sequential single-core accumulation bit for bit — the
 /// determinism contract the runtime's tests pin down.
+///
+/// Planning splits into a weight half and an input half.  The weight half —
+/// signed mapping, pass list, encoded unit-weight blocks — is a pure
+/// function of (w, tile geometry, encoding) and is built once per weight
+/// version as a WeightPlan, cached by nn::WeightPlanCache; per matmul only
+/// the input half (batch size, activation scale) is computed.
 namespace ptc::nn {
 
 /// One weight-block residency.
@@ -38,8 +45,35 @@ struct TilePass {
   double pad_value = 0.5;  ///< encoding of the padding cells at tile edges
 };
 
-/// Full decomposition of one matmul.  `passes` is in canonical order:
-/// mt-major, kt-minor, with the differential W+ pass preceding W-.
+/// The weight-dependent half of a tiled matmul: everything that only
+/// changes when the weights (or the tile geometry / encoding) change.
+/// `passes` is in canonical order: mt-major, kt-minor, with the
+/// differential W+ pass preceding W-; `encoded[i]` is the pre-encoded
+/// [0, 1] unit-weight block pass i loads.
+struct WeightPlan {
+  std::size_t k = 0;       ///< inner dimension
+  std::size_t m = 0;       ///< output dimension
+  std::size_t tile_k = 0;  ///< core cols (inputs per tile)
+  std::size_t tile_m = 0;  ///< core rows (outputs per tile)
+  bool differential = false;
+  SignedMapping mapping{};
+  std::vector<TilePass> passes;
+  std::vector<Matrix> encoded;  ///< per pass: tile_m x tile_k unit weights
+  Matrix source;                ///< the weights this plan encodes (cache key)
+
+  std::size_t k_tiles() const { return (k + tile_k - 1) / tile_k; }
+  std::size_t m_tiles() const { return (m + tile_m - 1) / tile_m; }
+};
+
+/// Builds the weight half for an (s x k) times w (k x m) matmul on cores
+/// with tile_m rows and tile_k cols.  Pure function of its arguments.
+std::shared_ptr<const WeightPlan> build_weight_plan(const Matrix& w,
+                                                    std::size_t tile_m,
+                                                    std::size_t tile_k,
+                                                    bool differential);
+
+/// Full decomposition of one matmul: a shared weight half plus the
+/// input-dependent fields.  `passes` is in canonical order (see WeightPlan).
 struct TilePlan {
   std::size_t samples = 0;  ///< s: input vectors in the batch
   std::size_t k = 0;        ///< inner dimension
@@ -49,21 +83,31 @@ struct TilePlan {
   double x_scale = 1.0;     ///< activation normalization scale
   SignedMapping mapping{};  ///< signed-weight mapping for the whole tensor
   std::vector<TilePass> passes;
+  /// Weight half this plan was derived from (holds the encoded blocks).
+  std::shared_ptr<const WeightPlan> weights;
 
   std::size_t k_tiles() const { return (k + tile_k - 1) / tile_k; }
   std::size_t m_tiles() const { return (m + tile_m - 1) / tile_m; }
 };
 
+/// Completes a cached weight plan into a full TilePlan for the batch `x`:
+/// writes the normalized activations into `x_norm` (a fresh matrix — no
+/// intermediate full copy) and records the scale.
+TilePlan plan_from_weights(std::shared_ptr<const WeightPlan> weights,
+                           const Matrix& x, Matrix& x_norm);
+
 /// Builds the plan for x (s x k) times w (k x m) on cores with tile_m rows
 /// and tile_k cols.  `x` is normalized to [0, 1] in place (the scale is
 /// recorded in the plan).  `differential` selects the two-pass W+/W-
-/// encoding over the single-pass offset encoding.
+/// encoding over the single-pass offset encoding.  Convenience wrapper that
+/// builds the weight half fresh; hot paths go through WeightPlanCache +
+/// plan_from_weights instead.
 TilePlan plan_tiled_matmul(Matrix& x, const Matrix& w, std::size_t tile_m,
                            std::size_t tile_k, bool differential);
 
 /// Encodes the (tile_m x tile_k) weight block of `pass` into [0, 1] unit
 /// weights, padding out-of-range cells with the pass pad value.
-Matrix encode_weight_block(const TilePlan& plan, const TilePass& pass,
+Matrix encode_weight_block(const WeightPlan& plan, const TilePass& pass,
                            const Matrix& w);
 
 /// Output of one pass: the signed, scaled contribution of this weight block
@@ -73,12 +117,12 @@ struct TilePassResult {
   double reload_time = 0.0; ///< [s]
 };
 
-/// Runs one pass on `core`: loads the encoded weight block, streams the
-/// whole normalized batch through it, and returns the contribution matrix.
-/// Only the executing core's state is touched.
+/// Runs pass `pass_index` on `core`: loads the pre-encoded weight block and
+/// streams the whole normalized batch through it in one call (readout gain
+/// programmed once per pass, no per-sample allocations), returning the
+/// contribution matrix.  Only the executing core's state is touched.
 TilePassResult run_tile_pass(core::TensorCore& core, const TilePlan& plan,
-                             const TilePass& pass, const Matrix& x_norm,
-                             const Matrix& w,
+                             std::size_t pass_index, const Matrix& x_norm,
                              const PhotonicBackendOptions& options);
 
 /// Adds a pass contribution into the result matrix y (samples x m).

@@ -75,10 +75,18 @@ BatchCost Accelerator::batch_cost(std::size_t passes, std::size_t warm_passes,
 
 Matrix Accelerator::matmul(const Matrix& x, const Matrix& w,
                            const nn::PhotonicBackendOptions& options) {
+  return matmul(x, w, options, plan_cache_);
+}
+
+Matrix Accelerator::matmul(const Matrix& x, const Matrix& w,
+                           const nn::PhotonicBackendOptions& options,
+                           nn::WeightPlanCache& plan_cache) {
   core::TensorCore& front = *cores_.front();
-  Matrix x_norm = x;
-  const nn::TilePlan plan = nn::plan_tiled_matmul(
-      x_norm, w, front.rows(), front.cols(), options.differential_weights);
+  Matrix x_norm;
+  const nn::TilePlan plan = nn::plan_from_weights(
+      plan_cache.get(w, front.rows(), front.cols(),
+                     options.differential_weights),
+      x, x_norm);
 
   const Schedule schedule =
       TileScheduler::assign(plan, cores_.size(), pass_cost(plan.samples));
@@ -90,8 +98,8 @@ Matrix Accelerator::matmul(const Matrix& x, const Matrix& w,
     const CoreShard& shard = schedule.shards[s];
     core::TensorCore& shard_core = *cores_[shard.core];
     for (std::size_t index : shard.pass_indices) {
-      results[index] = nn::run_tile_pass(shard_core, plan, plan.passes[index],
-                                         x_norm, w, options);
+      results[index] =
+          nn::run_tile_pass(shard_core, plan, index, x_norm, options);
     }
   });
 

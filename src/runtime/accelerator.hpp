@@ -9,6 +9,7 @@
 #include "common/linalg.hpp"
 #include "core/tensor_core.hpp"
 #include "nn/backend.hpp"
+#include "nn/tiling.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/tile_scheduler.hpp"
@@ -52,10 +53,16 @@ class Accelerator {
 
   /// Sharded matmul with nn::PhotonicBackend semantics: x (s x k) times
   /// w (k x m), x non-negative, w signed.  Weight tiles are dispatched
-  /// across the core pool by the TileScheduler; each tile residency streams
-  /// the full input batch (minimizing pSRAM reloads).
+  /// across the core pool by the TileScheduler; each shard streams the full
+  /// input batch through every residency it owns (minimizing pSRAM
+  /// reloads).  Weight-plan construction (mapping, pass list, encoded
+  /// blocks) is cached per weight version — in the accelerator's own cache,
+  /// or the caller's via the second overload.
   Matrix matmul(const Matrix& x, const Matrix& w,
                 const nn::PhotonicBackendOptions& options = {});
+  Matrix matmul(const Matrix& x, const Matrix& w,
+                const nn::PhotonicBackendOptions& options,
+                nn::WeightPlanCache& plan_cache);
 
   /// Modeled hardware cost of one tile pass for a batch of `samples`.
   PassCost pass_cost(std::size_t samples) const;
@@ -90,6 +97,7 @@ class Accelerator {
   double sample_rate_ = 0.0;     ///< per-core ADC sample rate [Hz]
   double reload_latency_ = 0.0;  ///< modeled full-tile reload latency [s]
   AcceleratorStats stats_;
+  nn::WeightPlanCache plan_cache_;  ///< weight plans for direct matmul calls
 };
 
 }  // namespace ptc::runtime

@@ -22,6 +22,11 @@ class AcceleratorBackend final : public nn::MatmulBackend {
     return accelerator_.matmul(x, w, options_);
   }
 
+  Matrix matmul_cached(const Matrix& x, const Matrix& w,
+                       nn::WeightPlanCache& cache) override {
+    return accelerator_.matmul(x, w, options_, cache);
+  }
+
   const char* name() const override { return "accelerator"; }
 
   Accelerator& accelerator() { return accelerator_; }

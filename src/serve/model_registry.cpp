@@ -4,6 +4,7 @@
 
 #include "common/expects.hpp"
 #include "graph/executor.hpp"
+#include "nn/tiling.hpp"
 
 namespace ptc::serve {
 
@@ -27,6 +28,16 @@ void ModelRegistry::add_graph(const std::string& name, const graph::Graph& g) {
   entry.compiled = graph::compile(g);
   entry.profile = entry.compiled.pass_profile(
       probe.rows(), probe.cols(), backend_.options().differential_weights);
+
+  // Pre-warm every accelerator step's weight-plan cache for the fleet's
+  // geometry: registration pays the one-time mapping/pass/encode work, so
+  // even the first dispatch of this model re-plans and re-encodes nothing.
+  for (const graph::Step& step : entry.compiled.steps) {
+    if (step.on_accelerator() && step.plan_cache != nullptr) {
+      step.plan_cache->get(step.weights, probe.rows(), probe.cols(),
+                           backend_.options().differential_weights);
+    }
+  }
   models_.emplace(name, std::move(entry));
 }
 

@@ -1,0 +1,306 @@
+// Calibrated fast path vs spectral physics walk: the fast path linearizes
+// the tensor core at weight-load time (cached ring-chain gains, canonical
+// summation order) and must be BIT-identical to the physics path — pinned
+// here for every encoding, readout mode, fleet size, and model lowering the
+// matmul pipeline supports, plus the weight-plan cache contract the graph
+// executor and serving layer lean on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/random_matrix.hpp"
+#include "common/rng.hpp"
+#include "core/tensor_core.hpp"
+#include "graph/compile.hpp"
+#include "graph/executor.hpp"
+#include "graph/ir.hpp"
+#include "nn/backend.hpp"
+#include "nn/dataset.hpp"
+#include "nn/mlp.hpp"
+#include "nn/tiling.hpp"
+#include "runtime/accelerator.hpp"
+#include "runtime/backend.hpp"
+
+namespace {
+
+using namespace ptc;
+using namespace ptc::nn;
+
+core::TensorCoreConfig core_config(bool fast_path) {
+  core::TensorCoreConfig config;
+  config.fast_path = fast_path;
+  return config;
+}
+
+TEST(FastPath, ArmsAtWeightLoad) {
+  core::TensorCore core(core_config(true));
+  EXPECT_FALSE(core.fast_path_active());
+  Rng rng(1);
+  core.load_weights_normalized(random_activations(16, 16, rng));
+  EXPECT_TRUE(core.fast_path_active());
+
+  core::TensorCore physics(core_config(false));
+  physics.load_weights_normalized(random_activations(16, 16, rng));
+  EXPECT_FALSE(physics.fast_path_active());
+}
+
+TEST(FastPath, AnalogBatchBitIdentical) {
+  core::TensorCore fast(core_config(true));
+  core::TensorCore physics(core_config(false));
+  Rng w_rng(2);
+  const Matrix w = random_activations(16, 16, w_rng);
+  fast.load_weights_normalized(w);
+  physics.load_weights_normalized(w);
+
+  Rng x_rng(3);
+  const Matrix x = random_activations(64, 16, x_rng);
+  EXPECT_EQ(fast.multiply_analog_batch(x).max_abs_diff(
+                physics.multiply_analog_batch(x)),
+            0.0);
+
+  // Single-sample API dispatches through the same replay.
+  std::vector<double> input(16, 0.0);
+  for (std::size_t c = 0; c < 16; ++c) input[c] = x(0, c);
+  const auto a = fast.multiply_analog(input);
+  const auto b = physics.multiply_analog(input);
+  for (std::size_t r = 0; r < a.size(); ++r) EXPECT_EQ(a[r], b[r]);
+}
+
+TEST(FastPath, QuantizedBatchBitIdenticalAndAccounted) {
+  core::TensorCore fast(core_config(true));
+  core::TensorCore physics(core_config(false));
+  Rng w_rng(4);
+  const Matrix w = random_activations(16, 16, w_rng);
+  fast.load_weights_normalized(w);
+  physics.load_weights_normalized(w);
+
+  Rng x_rng(5);
+  const Matrix x = random_activations(40, 16, x_rng);
+  EXPECT_EQ(fast.multiply_batch(x).max_abs_diff(physics.multiply_batch(x)),
+            0.0);
+  // Every batch row burns one ADC sample window, exactly like multiply().
+  EXPECT_EQ(fast.samples_processed(), 40u);
+  EXPECT_EQ(physics.samples_processed(), 40u);
+}
+
+TEST(FastPath, RecalibratesWhenWeightsChange) {
+  core::TensorCore fast(core_config(true));
+  core::TensorCore physics(core_config(false));
+  Rng rng(6);
+  const Matrix w1 = random_activations(16, 16, rng);
+  const Matrix w2 = random_activations(16, 16, rng);
+  const Matrix x = random_activations(8, 16, rng);
+
+  fast.load_weights_normalized(w1);
+  physics.load_weights_normalized(w1);
+  const Matrix y1 = fast.multiply_analog_batch(x);
+  EXPECT_EQ(y1.max_abs_diff(physics.multiply_analog_batch(x)), 0.0);
+
+  fast.load_weights_normalized(w2);
+  physics.load_weights_normalized(w2);
+  const Matrix y2 = fast.multiply_analog_batch(x);
+  EXPECT_EQ(y2.max_abs_diff(physics.multiply_analog_batch(x)), 0.0);
+  EXPECT_GT(y2.max_abs_diff(y1), 0.0);  // the gains really changed
+
+  // Reloading w1 recalls the memoized calibration — still bit-identical.
+  fast.load_weights_normalized(w1);
+  physics.load_weights_normalized(w1);
+  EXPECT_EQ(fast.multiply_analog_batch(x).max_abs_diff(y1), 0.0);
+  EXPECT_EQ(physics.multiply_analog_batch(x).max_abs_diff(y1), 0.0);
+}
+
+/// Backend-level identity across encodings and readout modes, including
+/// non-multiple-of-16 shapes and batch 1.
+void check_backend_identity(bool differential, bool quantize, std::size_t s,
+                            std::size_t k, std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  const Matrix x = random_activations(s, k, rng);
+  const Matrix w = random_signed(k, m, rng);
+
+  PhotonicBackendOptions options;
+  options.differential_weights = differential;
+  options.quantize_output = quantize;
+
+  core::TensorCore fast_core(core_config(true));
+  core::TensorCore physics_core(core_config(false));
+  PhotonicBackend fast(fast_core, options);
+  PhotonicBackend physics(physics_core, options);
+  EXPECT_EQ(fast.matmul(x, w).max_abs_diff(physics.matmul(x, w)), 0.0)
+      << "differential=" << differential << " quantize=" << quantize << " "
+      << s << "x" << k << "*" << k << "x" << m;
+}
+
+TEST(FastPath, BackendBitIdenticalAllEncodingsAndReadouts) {
+  for (const bool differential : {false, true}) {
+    for (const bool quantize : {false, true}) {
+      check_backend_identity(differential, quantize, 7, 20, 18, 100);
+      check_backend_identity(differential, quantize, 1, 16, 16, 101);
+    }
+  }
+}
+
+TEST(FastPath, FleetBitIdenticalToPhysicsFleet) {
+  Rng rng(7);
+  const Matrix x = random_activations(12, 40, rng);
+  const Matrix w = random_signed(40, 24, rng);
+
+  for (const bool differential : {false, true}) {
+    PhotonicBackendOptions options;
+    options.differential_weights = differential;
+
+    runtime::AcceleratorConfig fast_config{.cores = 4};
+    runtime::AcceleratorConfig physics_config{.cores = 4};
+    physics_config.core.fast_path = false;
+    runtime::Accelerator fast(fast_config);
+    runtime::Accelerator physics(physics_config);
+    EXPECT_EQ(fast.matmul(x, w, options).max_abs_diff(
+                  physics.matmul(x, w, options)),
+              0.0);
+  }
+}
+
+TEST(FastPath, MlpForwardBitIdenticalEndToEnd) {
+  Rng rng(8);
+  Mlp model(12, 10, 4, rng);
+  Rng data_rng(9);
+  const Matrix x = random_activations(9, 12, data_rng);
+
+  PhotonicBackendOptions options;
+  options.differential_weights = true;
+
+  core::TensorCore fast_core(core_config(true));
+  core::TensorCore physics_core(core_config(false));
+  PhotonicBackend fast(fast_core, options);
+  PhotonicBackend physics(physics_core, options);
+  EXPECT_EQ(model.forward(fast, x).max_abs_diff(model.forward(physics, x)),
+            0.0);
+
+  runtime::AcceleratorConfig fleet_config{.cores = 3};
+  fleet_config.core.fast_path = false;
+  runtime::Accelerator physics_fleet(fleet_config);
+  runtime::AcceleratorBackend fleet(physics_fleet, options);
+  EXPECT_EQ(model.forward(fast, x).max_abs_diff(model.forward(fleet, x)), 0.0);
+}
+
+TEST(FastPath, CnnGraphBitIdenticalOnTheFleet) {
+  Rng rng(10);
+  graph::Graph g;
+  const auto in = g.input(graph::Shape{{8, 8, 1}});
+  auto v = g.conv2d(in, random_signed(9, 4, rng), 3);
+  v = g.bias(v, std::vector<double>(4, 0.05));
+  v = g.relu(v);
+  v = g.maxpool(v, 2);
+  v = g.flatten(v);
+  v = g.matmul(v, random_signed(36, 5, rng));
+  g.softmax(v);
+  const graph::CompiledGraph compiled = graph::compile(g);
+
+  Rng data_rng(11);
+  const Matrix x = random_activations(4, 64, data_rng);
+
+  PhotonicBackendOptions options;
+  options.differential_weights = true;
+
+  runtime::AcceleratorConfig fast_config{.cores = 4};
+  runtime::AcceleratorConfig physics_config{.cores = 4};
+  physics_config.core.fast_path = false;
+  runtime::Accelerator fast_fleet(fast_config);
+  runtime::Accelerator physics_fleet(physics_config);
+  runtime::AcceleratorBackend fast(fast_fleet, options);
+  runtime::AcceleratorBackend physics(physics_fleet, options);
+  EXPECT_EQ(graph::run(compiled, fast, x).max_abs_diff(
+                graph::run(compiled, physics, x)),
+            0.0);
+}
+
+TEST(PlanCache, ReusesPlansAndRebuildsOnContentChange) {
+  Rng rng(12);
+  Matrix w = random_signed(20, 20, rng);
+
+  WeightPlanCache cache;
+  const auto p1 = cache.get(w, 16, 16, false);
+  const auto p2 = cache.get(w, 16, 16, false);
+  EXPECT_EQ(p1.get(), p2.get());  // same plan object, no rebuild
+  EXPECT_EQ(cache.builds(), 1u);
+  EXPECT_EQ(p1->passes.size(), 4u);
+  EXPECT_EQ(p1->encoded.size(), 4u);
+
+  // A different geometry or encoding is a different plan.
+  cache.get(w, 16, 16, true);
+  EXPECT_EQ(cache.builds(), 2u);
+
+  // Changing the weight contents must invalidate: the cache is keyed by
+  // content, so a stale plan (stale mapping, stale encoded blocks) can
+  // never be served for updated weights.
+  w(3, 3) = 5.0;  // new max |w|: the mapping scale must change too
+  const auto p3 = cache.get(w, 16, 16, false);
+  EXPECT_EQ(cache.builds(), 3u);
+  EXPECT_NE(p3.get(), p1.get());
+  EXPECT_NE(p3->mapping.scale, p1->mapping.scale);
+
+  cache.invalidate();
+  cache.get(w, 16, 16, false);
+  EXPECT_EQ(cache.builds(), 4u);
+}
+
+TEST(PlanCache, CachedMatmulBitIdenticalToUncached) {
+  Rng rng(13);
+  const Matrix x = random_activations(5, 20, rng);
+  const Matrix w = random_signed(20, 20, rng);
+
+  PhotonicBackendOptions options;
+  core::TensorCore core_a(core_config(true));
+  core::TensorCore core_b(core_config(true));
+  PhotonicBackend cached(core_a, options);
+  PhotonicBackend fresh(core_b, options);
+
+  WeightPlanCache cache;
+  const Matrix via_cache = cached.matmul_cached(x, w, cache);
+  const Matrix direct = fresh.matmul(x, w);
+  EXPECT_EQ(via_cache.max_abs_diff(direct), 0.0);
+  // Second call through the same cache: no rebuild, same bits.
+  EXPECT_EQ(cached.matmul_cached(x, w, cache).max_abs_diff(direct), 0.0);
+  EXPECT_EQ(cache.builds(), 1u);
+}
+
+TEST(PlanCache, MlpTrainingRefreshesCompiledPlans) {
+  // Training rewrites the weights and relowers the schedule; the rebuilt
+  // step caches must serve plans for the *new* weights — pinned by
+  // comparing against an uncached float forward after the update.
+  Rng rng(14);
+  Mlp model(6, 8, 3, rng);
+  Dataset data;
+  data.inputs = random_activations(24, 6, rng);
+  data.labels.resize(24);
+  for (std::size_t i = 0; i < data.labels.size(); ++i) {
+    data.labels[i] = i % 3;
+  }
+
+  FloatBackend reference;
+  const Matrix x = random_activations(5, 6, rng);
+  const Matrix before = model.forward(reference, x);
+
+  Rng train_rng(15);
+  model.train_epoch(data, 0.05, 8, train_rng);
+  const Matrix after = model.forward(reference, x);
+  EXPECT_GT(after.max_abs_diff(before), 0.0);
+
+  // The compiled schedule (with its refreshed plan caches) must agree with
+  // the raw layer math over the new weights.
+  Matrix manual = matmul(x, model.layer1().w);
+  for (std::size_t s = 0; s < manual.rows(); ++s)
+    for (std::size_t c = 0; c < manual.cols(); ++c) {
+      manual(s, c) += model.layer1().b[c];
+      manual(s, c) = std::max(0.0, manual(s, c));
+    }
+  manual = matmul(manual, model.layer2().w);
+  for (std::size_t s = 0; s < manual.rows(); ++s)
+    for (std::size_t c = 0; c < manual.cols(); ++c)
+      manual(s, c) += model.layer2().b[c];
+  EXPECT_EQ(after.max_abs_diff(manual), 0.0);
+}
+
+}  // namespace
