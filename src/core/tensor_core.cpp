@@ -25,21 +25,40 @@ TensorCore::TensorCore(const TensorCoreConfig& config)
   expects(config_.cols % config_.macro.channels == 0,
           "cols must be a multiple of the macro channel count");
 
+  const VariationModel variation(config_.variation);
   macros_.resize(config_.rows);
   const std::size_t tiles = macros_per_row();
   for (std::size_t row = 0; row < config_.rows; ++row) {
     macros_[row].reserve(tiles);
     for (std::size_t tile = 0; tile < tiles; ++tile) {
-      macros_[row].emplace_back(config_.macro);
+      VectorMacroConfig macro_config = config_.macro;
+      if (variation.enabled()) {
+        // Every macro is a distinct fabricated device on this die.
+        macro_config.variation = config_.variation;
+        macro_config.variation.seed = variation.child_seed(row * tiles + tile);
+      }
+      macros_[row].emplace_back(macro_config);
     }
   }
   adcs_.reserve(config_.rows);
   for (std::size_t row = 0; row < config_.rows; ++row) {
-    adcs_.emplace_back(config_.adc);
+    EoAdcConfig adc_config = config_.adc;
+    if (variation.enabled() && config_.variation.adc_vref_sigma > 0.0) {
+      // Per-row reference ladders mismatch independently.
+      adc_config.vref_mismatch_sigma = config_.variation.adc_vref_sigma;
+      adc_config.mismatch_seed =
+          variation.child_seed(config_.rows * tiles + row);
+    }
+    adcs_.emplace_back(adc_config);
   }
 
   // Full-scale row current: all inputs 1, all weights max across every tile.
-  VectorComputeMacro probe(config_.macro);
+  // The probe is the *design* device (variation stripped): a varied die's
+  // deviation from this full scale is exactly the accuracy error the
+  // variation/recalibration studies measure.
+  VectorMacroConfig probe_config = config_.macro;
+  probe_config.variation = VariationConfig{};
+  VectorComputeMacro probe(probe_config);
   probe.load_weights(
       std::vector<std::uint32_t>(config_.macro.channels, probe.max_weight()));
   const auto fs =
@@ -82,6 +101,7 @@ double TensorCore::load_weights(
       macros_[row][tile].load_weights(tile_weights);
     }
   }
+  loaded_words_ = flat;
   if (config_.fast_path) {
     calibrate_fast_path(flat);
   } else {
@@ -101,11 +121,14 @@ void TensorCore::calibrate_fast_path(const std::vector<std::uint32_t>& words) {
   fast_.tap_factor = units::db_to_ratio(-config_.macro.splitter_excess_db) * 0.5;
   fast_.responsivity = config_.macro.photodiode.responsivity;
 
-  // The chain transmissions are a pure function of the loaded weight words,
-  // and a serving fleet reloads the same few blocks on the same core every
-  // dispatch — recall the memoized calibration when the words match.
+  // The chain transmissions are a pure function of (loaded weight words,
+  // thermal detuning), and a serving fleet reloads the same few blocks on
+  // the same core every dispatch — recall the memoized calibration when
+  // both match.  Under drift the detuning key misses and the walk re-runs:
+  // the modeled cost of serving on a drifting device.
   for (std::size_t i = 0; i < calibrations_.size(); ++i) {
-    if (calibrations_[i].words == words) {
+    if (calibrations_[i].detuning == detuning_ &&
+        calibrations_[i].words == words) {
       fast_.chain = calibrations_[i].chain;
       if (i != 0) std::rotate(calibrations_.begin(),
                               calibrations_.begin() + i,
@@ -117,7 +140,29 @@ void TensorCore::calibrate_fast_path(const std::vector<std::uint32_t>& words) {
 
   // Ring-chain transmissions: the expensive spectral product (every ring of
   // a bit row evaluated at every channel wavelength — the crosstalk walk)
-  // only changes when the multiply rings are re-biased, i.e. here.
+  // only changes when the multiply rings are re-biased or detuned, i.e.
+  // here or in set_thermal_detuning.
+  fast_.chain = build_chain();
+  calibrations_.insert(calibrations_.begin(),
+                       CalibrationEntry{words, detuning_, fast_.chain});
+  fast_.valid = true;
+  // Enough slots for every block of a resident model shard plus headroom.
+  // Evict drifted (nonzero-detuning) entries first: a wandering detuning
+  // key almost never recurs, while the detuning-0 entries are exactly what
+  // every post-re-lock reload hits again.
+  constexpr std::size_t kMaxCalibrations = 64;
+  if (calibrations_.size() > kMaxCalibrations) {
+    for (auto it = calibrations_.rbegin(); it != calibrations_.rend(); ++it) {
+      if (it->detuning != 0.0) {
+        calibrations_.erase(std::next(it).base());
+        return;
+      }
+    }
+    calibrations_.pop_back();
+  }
+}
+
+std::shared_ptr<const std::vector<double>> TensorCore::build_chain() const {
   const std::size_t bits = config_.weight_bits;
   const std::size_t m = config_.macro.channels;
   const std::size_t tiles = macros_per_row();
@@ -133,12 +178,26 @@ void TensorCore::calibrate_fast_path(const std::vector<std::uint32_t>& words) {
       }
     }
   }
-  fast_.chain = std::move(chain);
-  calibrations_.insert(calibrations_.begin(), CalibrationEntry{words, fast_.chain});
-  // Enough slots for every block of a resident model shard plus headroom.
-  constexpr std::size_t kMaxCalibrations = 64;
-  if (calibrations_.size() > kMaxCalibrations) calibrations_.pop_back();
-  fast_.valid = true;
+  return chain;
+}
+
+void TensorCore::set_thermal_detuning(double delta_kelvin) {
+  detuning_ = delta_kelvin;
+  for (auto& row : macros_) {
+    for (auto& macro : row) {
+      macro.set_temperature_offset(delta_kelvin);
+    }
+  }
+  // Refresh the armed fast path at the new operating point so it stays
+  // bit-identical to the physics walk (same chain function, same state).
+  if (fast_.valid) {
+    calibrate_fast_path(loaded_words_);
+  }
+}
+
+void TensorCore::recalibrate() {
+  set_thermal_detuning(0.0);
+  ++calibration_epoch_;
 }
 
 double TensorCore::load_weights_normalized(const Matrix& weights) {

@@ -49,6 +49,14 @@ struct TensorCoreConfig {
   /// bit-identical to the physics walk (which remains available as the
   /// reference oracle when this is false).
   bool fast_path = true;
+  /// Per-die fabrication/drive-level variation (see core/variation.hpp).
+  /// variation.seed == 0 is the pristine design die; a nonzero seed derives
+  /// an independent child stream per macro (and per row eoADC when
+  /// variation.adc_vref_sigma > 0), so every ring of the core is a distinct
+  /// fabricated device.  The full-scale calibration probe stays pristine:
+  /// variation manifests as a deviation from design, which the calibrated
+  /// fast path freezes and recalibrate() re-freezes.
+  VariationConfig variation{};
 };
 
 class TensorCore {
@@ -97,6 +105,30 @@ class TensorCore {
   /// True when the calibrated fast path is armed (config.fast_path and
   /// weights have been loaded since).
   bool fast_path_active() const { return fast_.valid; }
+
+  // --- thermal drift / online recalibration ---------------------------------
+  /// Ambient thermal detuning from the calibrated operating point [K]:
+  /// every multiply ring is detuned through its own (variation-spread)
+  /// thermo-optic sensitivity, and the cached fast-path gains are refreshed
+  /// through the spectral walk at the new operating point — the fast path
+  /// stays bit-identical to the physics walk at every detuning.  Costs one
+  /// weight-load-grade calibration walk when the fast path is armed.
+  void set_thermal_detuning(double delta_kelvin);
+  double thermal_detuning() const { return detuning_; }
+
+  /// Heater re-lock: pulls every ring back to the calibrated operating
+  /// point (detuning -> 0), re-freezes the fast-path gains there, and opens
+  /// a new calibration epoch.  The modeled downtime of the fleet-level
+  /// recalibration is billed by runtime::Accelerator::recalibrate().
+  void recalibrate();
+
+  /// Number of recalibrations performed (epoch 0 = as-constructed).
+  std::size_t calibration_epoch() const { return calibration_epoch_; }
+
+  /// Rewinds the epoch counter to 0 (as-constructed).  Part of
+  /// runtime::Accelerator::reset_drift's run-to-run determinism contract;
+  /// does not touch weights, detuning, or gains.
+  void reset_calibration_epoch() { calibration_epoch_ = 0; }
 
   /// Digital reference: exact dot products of the *stored* integer weights
   /// with the inputs, normalized like the analog path.
@@ -159,17 +191,26 @@ class TensorCore {
     std::shared_ptr<const std::vector<double>> chain;
   };
 
-  /// One memoized calibration: the integer weight words that were loaded
-  /// and the chain transmissions they produce.  Serving steady-state
-  /// reloads the same few blocks on the same core every dispatch, so the
-  /// spectral calibration walk runs once per distinct block, not per pass.
+  /// One memoized calibration: the integer weight words that were loaded,
+  /// the thermal detuning they were calibrated at, and the chain
+  /// transmissions they produce.  Serving steady-state reloads the same few
+  /// blocks on the same core every dispatch, so the spectral calibration
+  /// walk runs once per distinct (block, detuning), not per pass — under
+  /// active drift the detuning key misses and every reload pays the walk,
+  /// which is exactly the modeled cost of serving through drift.
   struct CalibrationEntry {
     std::vector<std::uint32_t> words;
+    double detuning = 0.0;
     std::shared_ptr<const std::vector<double>> chain;
   };
 
   /// Rebuilds (or recalls) the cached gains for the loaded weight words.
   void calibrate_fast_path(const std::vector<std::uint32_t>& words);
+
+  /// The expensive spectral product over the currently-programmed rings at
+  /// the current detuning (every ring of a bit row evaluated at every
+  /// channel wavelength — the crosstalk walk).
+  std::shared_ptr<const std::vector<double>> build_chain() const;
 
   /// Normalized analog row values for one sample: fast replay when armed,
   /// full spectral walk otherwise.  `input` has cols() entries; `out` has
@@ -191,6 +232,9 @@ class TensorCore {
   std::size_t samples_ = 0;
   FastGains fast_;
   std::vector<CalibrationEntry> calibrations_;  ///< MRU-first memo
+  std::vector<std::uint32_t> loaded_words_;     ///< last load_weights payload
+  double detuning_ = 0.0;                ///< thermal detuning [K]
+  std::size_t calibration_epoch_ = 0;    ///< recalibrate() count
   std::vector<double> tap_scratch_;    ///< per-sample tap powers, reused
   std::vector<double> input_scratch_;  ///< physics-path tile slice, reused
 };

@@ -17,13 +17,30 @@ VectorComputeMacro::VectorComputeMacro(const VectorMacroConfig& config)
           "weight precision must be in [1, 8] bits");
   expects(config.comb_power_per_line > 0.0, "comb power must be positive");
 
+  const VariationModel variation(config.variation);
+  Rng variation_rng(config.variation.seed);
   rings_.resize(config.weight_bits);
+  if (variation.enabled()) bias_offsets_.resize(config.weight_bits);
   for (unsigned row = 0; row < config.weight_bits; ++row) {
     rings_[row].reserve(config.channels);
+    if (variation.enabled()) bias_offsets_[row].reserve(config.channels);
     for (std::size_t ch = 0; ch < config.channels; ++ch) {
       // Multiply rings sit on resonance at 0 V (weight bit 0 strips the
       // channel) and shift off resonance at VDD (bit 1 passes it).
-      rings_[row].emplace_back(compute_ring_config(ch, /*pin_bias=*/0.0));
+      optics::MicroringConfig ring = compute_ring_config(ch, /*pin_bias=*/0.0);
+      if (variation.enabled()) {
+        // Per-ring fabrication spread, drawn in (bit_row, channel) order.
+        const auto d = variation.sample_ring(variation_rng);
+        ring.loss_db_per_cm *= d.loss_scale;
+        ring.coupling_gap_thru *= d.coupling_scale;
+        ring.coupling_gap_drop *= d.coupling_scale;
+        ring.dlambda_dt *= d.thermal_scale;
+        rings_[row].emplace_back(ring);
+        rings_[row].back().set_resonance_error(d.resonance_error);
+        bias_offsets_[row].push_back(d.bias_offset);
+      } else {
+        rings_[row].emplace_back(ring);
+      }
     }
   }
   weights_.assign(config.channels, 0);
@@ -48,7 +65,18 @@ void VectorComputeMacro::load_weights(const std::vector<std::uint32_t>& weights)
     const unsigned bit_index = config_.weight_bits - 1 - row;
     for (std::size_t ch = 0; ch < config_.channels; ++ch) {
       const bool bit = (weights[ch] >> bit_index) & 1u;
-      rings_[row][ch].set_bias(bit ? tech_vdd : 0.0);
+      const double offset =
+          bias_offsets_.empty() ? 0.0 : bias_offsets_[row][ch];
+      rings_[row][ch].set_bias((bit ? tech_vdd : 0.0) + offset);
+    }
+  }
+}
+
+void VectorComputeMacro::set_temperature_offset(double delta_kelvin) {
+  temperature_offset_ = delta_kelvin;
+  for (auto& row : rings_) {
+    for (auto& ring : row) {
+      ring.set_temperature_offset(delta_kelvin);
     }
   }
 }

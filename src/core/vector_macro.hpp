@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/tech.hpp"
+#include "core/variation.hpp"
 #include "optics/frequency_comb.hpp"
 #include "optics/microring.hpp"
 #include "optics/photodiode.hpp"
@@ -40,6 +41,10 @@ struct VectorMacroConfig {
   double splitter_excess_db = 0.1;
   optics::PhotodiodeConfig photodiode{};
   double wall_plug_efficiency = tech_wall_plug;
+  /// Per-device fabrication/drive-level variation; variation.seed == 0 is
+  /// the pristine design device.  A TensorCore derives one child seed per
+  /// macro, so every macro of a varied core is a distinct device.
+  VariationConfig variation{};
 };
 
 class VectorComputeMacro {
@@ -51,8 +56,16 @@ class VectorComputeMacro {
   std::uint32_t max_weight() const { return (1u << config_.weight_bits) - 1; }
 
   /// Loads the n-bit weights (one per channel); weights drive the multiply
-  /// rings' bias lines.
+  /// rings' bias lines (plus each ring's static pSRAM drive-level offset
+  /// when variation is enabled).
   void load_weights(const std::vector<std::uint32_t>& weights);
+
+  /// Ambient temperature deviation from the calibrated operating point [K],
+  /// applied to every multiply ring.  Each ring responds through its own
+  /// (variation-spread) thermo-optic sensitivity, so a common-mode drift
+  /// still detunes the rings heterogeneously.
+  void set_temperature_offset(double delta_kelvin);
+  double temperature_offset() const { return temperature_offset_; }
 
   const std::vector<std::uint32_t>& weights() const { return weights_; }
 
@@ -91,8 +104,12 @@ class VectorComputeMacro {
   optics::Photodiode photodiode_;
   /// rings_[bit_row][channel]; bit_row 0 = MSB (receives IN/2).
   std::vector<std::vector<optics::Microring>> rings_;
+  /// Static per-ring pSRAM drive-level offsets [V], same indexing as
+  /// rings_; empty when variation is disabled.
+  std::vector<std::vector<double>> bias_offsets_;
   std::vector<std::uint32_t> weights_;
   double full_scale_current_ = 0.0;
+  double temperature_offset_ = 0.0;
 };
 
 }  // namespace ptc::core

@@ -49,7 +49,11 @@ Graph::NodeId Graph::append(Node node) {
 }
 
 const Node& Graph::producer(NodeId id) const {
-  expects(id < nodes_.size(), "graph node id out of range");
+  expects(id < nodes_.size(),
+          "graph node id " + std::to_string(id) +
+              " is not defined yet (graph has " +
+              std::to_string(nodes_.size()) +
+              " nodes; operands must be built before use)");
   return nodes_[id];
 }
 
@@ -87,11 +91,17 @@ Graph::NodeId Graph::conv2d(NodeId x, Matrix kernels, std::size_t kernel_side) {
   expects(in.shape.is_image(), "conv2d input must be an h x w x c image");
   expects(kernel_side >= 1, "conv2d kernel side must be >= 1");
   expects(kernel_side <= in.shape.height() && kernel_side <= in.shape.width(),
-          "conv2d kernel larger than the image");
+          "conv2d kernel side " + std::to_string(kernel_side) +
+              " larger than the " + in.shape.str() + " image");
   expects(kernels.cols() >= 1, "conv2d needs at least one output channel");
   expects(kernels.rows() ==
               kernel_side * kernel_side * in.shape.channels(),
-          "conv2d kernel matrix must have kernel^2 * c_in rows");
+          "conv2d kernel matrix has " + std::to_string(kernels.rows()) +
+              " rows but a " + std::to_string(kernel_side) + "x" +
+              std::to_string(kernel_side) + " kernel over " +
+              in.shape.str() + " needs kernel^2 * c_in = " +
+              std::to_string(kernel_side * kernel_side *
+                             in.shape.channels()));
   Node n;
   n.op = Op::kConv2d;
   n.inputs = {x};
@@ -105,7 +115,9 @@ Graph::NodeId Graph::conv2d(NodeId x, Matrix kernels, std::size_t kernel_side) {
 Graph::NodeId Graph::bias(NodeId x, std::vector<double> b) {
   const Node& in = producer(x);
   expects(b.size() == in.shape.channels(),
-          "bias length must equal the channel (innermost) dimension");
+          "bias of length " + std::to_string(b.size()) +
+              " does not match the channel (innermost) dimension of " +
+              in.shape.str());
   Node n;
   n.op = Op::kBias;
   n.inputs = {x};
@@ -138,7 +150,8 @@ Graph::NodeId Graph::maxpool(NodeId x, std::size_t window) {
   expects(in.shape.is_image(), "maxpool input must be an h x w x c image");
   expects(window >= 1, "maxpool window must be >= 1");
   expects(in.shape.height() >= window && in.shape.width() >= window,
-          "maxpool window larger than the image");
+          "maxpool window " + std::to_string(window) + " larger than the " +
+              in.shape.str() + " image");
   Node n;
   n.op = Op::kMaxPool;
   n.inputs = {x};
@@ -170,7 +183,9 @@ Graph::NodeId Graph::softmax(NodeId x) {
 }
 
 void Graph::mark_output(NodeId id) {
-  expects(id < nodes_.size(), "output id out of range");
+  expects(id < nodes_.size(),
+          "output id " + std::to_string(id) + " out of range (graph has " +
+              std::to_string(nodes_.size()) + " nodes)");
   output_ = id;
   explicit_output_ = true;
 }

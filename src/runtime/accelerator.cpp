@@ -1,6 +1,7 @@
 #include "runtime/accelerator.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/expects.hpp"
 #include "common/rng.hpp"
@@ -14,7 +15,13 @@ Accelerator::Accelerator(const AcceleratorConfig& config)
                                 : std::max<std::size_t>(config.cores, 1)) {
   expects(config_.cores >= 1, "accelerator needs at least one core");
 
+  expects(config_.drift.sigma >= 0.0, "drift sigma must be >= 0");
+  expects(config_.drift.tau > 0.0, "drift tau must be positive");
+  expects(config_.drift.recalibration_samples >= 1,
+          "recalibration must stream at least one probe vector");
+
   Rng variation(config_.variation_seed);
+  const core::VariationModel fleet_variation(config_.variation);
   cores_.reserve(config_.cores);
   for (std::size_t i = 0; i < config_.cores; ++i) {
     core::TensorCoreConfig core_config = config_.core;
@@ -22,8 +29,15 @@ Accelerator::Accelerator(const AcceleratorConfig& config)
       // Independent, reproducible per-die variation stream (see rng.hpp).
       core_config.adc.mismatch_seed = variation.split(i).next_u64();
     }
+    if (fleet_variation.enabled()) {
+      // Full per-die device variation: every core is a distinct die drawn
+      // from an independent child stream of the fleet seed.
+      core_config.variation = config_.variation;
+      core_config.variation.seed = fleet_variation.child_seed(i);
+    }
     cores_.push_back(std::make_unique<core::TensorCore>(core_config));
   }
+  if (drift_enabled()) reset_drift();
 
   core::TensorCore& probe = *cores_.front();
   sample_rate_ = probe.adc(0).sample_rate();
@@ -71,6 +85,59 @@ BatchCost Accelerator::batch_cost(std::size_t passes, std::size_t warm_passes,
   out.reloads = passes - warm_passes;
   out.reload_time = static_cast<double>(out.reloads) * cost.reload_s;
   return out;
+}
+
+void Accelerator::reset_drift() {
+  drift_.clear();
+  drift_rng_.clear();
+  clock_ = 0.0;
+  recalibrations_ = 0;
+  if (!drift_enabled()) return;
+  const Rng streams(config_.drift.seed);
+  drift_.reserve(cores_.size());
+  drift_rng_.reserve(cores_.size());
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    // The OU state *is* the core's detuning from its heater-locked
+    // operating point: it starts at 0 (freshly calibrated) and wanders
+    // with stationary std sigma.
+    drift_.emplace_back(0.0, config_.drift.tau, config_.drift.sigma);
+    drift_.back().reset(0.0);
+    drift_rng_.push_back(streams.split(i));
+    if (cores_[i]->thermal_detuning() != 0.0) {
+      cores_[i]->set_thermal_detuning(0.0);
+    }
+    cores_[i]->reset_calibration_epoch();
+  }
+}
+
+void Accelerator::advance_to(double t) {
+  if (!drift_enabled()) return;
+  if (t <= clock_) return;
+  const double dt = t - clock_;
+  clock_ = t;
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    const double detuning = drift_[i].step(dt, drift_rng_[i]);
+    cores_[i]->set_thermal_detuning(detuning);
+  }
+}
+
+double Accelerator::max_abs_detuning() const {
+  double worst = 0.0;
+  for (const auto& c : cores_) {
+    worst = std::max(worst, std::abs(c->thermal_detuning()));
+  }
+  return worst;
+}
+
+BatchCost Accelerator::recalibrate() {
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    if (i < drift_.size()) drift_[i].reset(0.0);
+    cores_[i]->recalibrate();
+  }
+  ++recalibrations_;
+  // Downtime: one probe residency per core, all cores in parallel —
+  // costed exactly like a cold serving batch of probe vectors.
+  return batch_cost(cores_.size(), 0, config_.drift.recalibration_samples);
 }
 
 Matrix Accelerator::matmul(const Matrix& x, const Matrix& w,

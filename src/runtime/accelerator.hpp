@@ -7,9 +7,12 @@
 #include <vector>
 
 #include "common/linalg.hpp"
+#include "common/rng.hpp"
 #include "core/tensor_core.hpp"
+#include "core/variation.hpp"
 #include "nn/backend.hpp"
 #include "nn/tiling.hpp"
+#include "optics/thermal.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/tile_scheduler.hpp"
@@ -19,6 +22,24 @@
 /// 16x16 core (4.10 TOPS) — N cores give N x the aggregate throughput as
 /// long as the tile scheduler keeps them fed.
 namespace ptc::runtime {
+
+/// Slow thermal drift of the fleet's operating point, modeled per core as a
+/// mean-reverting Ornstein-Uhlenbeck detuning process (optics::ThermalDrift)
+/// on modeled serving time.  Every core drifts through an independent,
+/// reproducible child stream of `seed`, and each core's rings respond
+/// through their own (variation-spread) thermo-optic sensitivities.
+struct DriftConfig {
+  /// Stationary detuning standard deviation [K]; 0 disables drift.
+  double sigma = 0.0;
+  /// Mean-reversion time constant [s] of modeled serving time.  Thermal
+  /// time constants are "slow" relative to the ns-scale batch service
+  /// times, so the default is ~1000 batch latencies.
+  double tau = 2e-6;
+  std::uint64_t seed = 77;
+  /// Probe vectors each core streams during a recalibration — sets the
+  /// modeled downtime recalibrate() bills through batch_cost.
+  std::size_t recalibration_samples = 64;
+};
 
 struct AcceleratorConfig {
   /// Number of tensor cores in the pool.
@@ -35,6 +56,15 @@ struct AcceleratorConfig {
   /// identical devices and accelerator results are bit-identical to a
   /// single-core nn::PhotonicBackend.
   std::uint64_t variation_seed = 0;
+  /// Full per-die device variation (core/variation.hpp): when
+  /// variation.seed != 0 every core receives an independent child stream,
+  /// so the pool is a realistically heterogeneous fabricated fleet.  The
+  /// determinism contract still holds — results are a pure function of
+  /// (config, inputs) — but fleet results are no longer bit-identical to a
+  /// single-core backend, since different cores are different devices.
+  core::VariationConfig variation{};
+  /// Thermal drift of the fleet's operating point on modeled serving time.
+  DriftConfig drift{};
 };
 
 /// Determinism contract: matmul results depend only on (config, inputs) —
@@ -78,6 +108,43 @@ class Accelerator {
   BatchCost batch_cost(std::size_t passes, std::size_t warm_passes,
                        std::size_t samples) const;
 
+  // --- thermal drift / online recalibration ---------------------------------
+  /// True when config.drift.sigma > 0: the fleet's operating point drifts
+  /// as modeled serving time advances.
+  bool drift_enabled() const { return config_.drift.sigma > 0.0; }
+
+  /// Advances the fleet clock to modeled time `t` [s]: steps every core's
+  /// OU detuning process over the elapsed interval and applies the new
+  /// detuning to the core (refreshing its cached fast-path gains).  The
+  /// serve layer calls this at every batch dispatch.  Monotonic; t at or
+  /// before the current clock is a no-op.  No-op while drift is disabled.
+  void advance_to(double t);
+
+  /// Current fleet clock [s] (last advance_to target).
+  double clock() const { return clock_; }
+
+  /// Largest |detuning| across the pool [K] — the on-chip thermal monitors'
+  /// view of how far the fleet has drifted from its calibration point.
+  double max_abs_detuning() const;
+
+  /// Online recalibration: re-locks every core's heaters to the calibrated
+  /// operating point (detuning -> 0, a new calibration epoch per core) and
+  /// re-freezes the fast-path gains there.  Cores recalibrate in parallel;
+  /// the returned BatchCost is the modeled fleet downtime — one probe
+  /// residency per core streaming drift.recalibration_samples vectors,
+  /// costed through the same batch_cost model serving batches use.
+  /// Resident weight tiles survive (recalibration re-freezes gains, it does
+  /// not evict pSRAM state).
+  BatchCost recalibrate();
+
+  /// Recalibrations performed since construction (or reset_drift()).
+  std::size_t recalibrations() const { return recalibrations_; }
+
+  /// Rewinds the drift subsystem to its initial state: clock 0, every
+  /// core's OU process and stream reseeded, detuning 0.  Server::run calls
+  /// this so identical runs see identical drift trajectories.
+  void reset_drift();
+
   /// Fleet statistics accumulated since construction (or reset_stats()),
   /// with energy/power drawn from the live per-core ledgers.
   AcceleratorStats stats() const;
@@ -98,6 +165,11 @@ class Accelerator {
   double reload_latency_ = 0.0;  ///< modeled full-tile reload latency [s]
   AcceleratorStats stats_;
   nn::WeightPlanCache plan_cache_;  ///< weight plans for direct matmul calls
+  // Drift state (empty / zero while drift is disabled).
+  std::vector<optics::ThermalDrift> drift_;  ///< per-core OU detuning [K]
+  std::vector<Rng> drift_rng_;               ///< per-core drift streams
+  double clock_ = 0.0;                       ///< modeled fleet time [s]
+  std::size_t recalibrations_ = 0;
 };
 
 }  // namespace ptc::runtime

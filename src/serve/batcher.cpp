@@ -62,6 +62,10 @@ std::vector<Request> RequestQueue::pop(const std::string& model,
 DynamicBatcher::DynamicBatcher(const BatchPolicy& policy) : policy_(policy) {
   expects(policy.max_batch >= 1, "max_batch must be at least 1");
   expects(policy.max_wait >= 0.0, "max_wait must be non-negative");
+  expects(policy.recalibration_period >= 0.0,
+          "recalibration_period must be non-negative");
+  expects(policy.drift_threshold >= 0.0,
+          "drift_threshold must be non-negative");
 }
 
 void DynamicBatcher::enqueue(Request request) { queue_.push(std::move(request)); }

@@ -17,7 +17,11 @@
 /// more samples per weight residency.
 namespace ptc::serve {
 
-/// When a batch closes.
+/// When a batch closes, plus the serving loop's online-recalibration
+/// policy.  Recalibration matters when the accelerator models thermal
+/// drift (runtime::DriftConfig): cached fast-path gains follow the
+/// drifting devices, so accuracy decays until the Server re-locks the
+/// fleet — at the price of modeled downtime per recalibration.
 struct BatchPolicy {
   /// Requests at which the batch closes immediately.
   std::size_t max_batch = 8;
@@ -25,6 +29,13 @@ struct BatchPolicy {
   /// 0 dispatches whatever is queued the moment the fleet frees up;
   /// kNoTimeout only closes full batches (fixed-batch serving).
   double max_wait = 0.0;
+  /// Periodic recalibration: re-lock the fleet every `recalibration_period`
+  /// modeled seconds of serving.  0 disables the periodic trigger.
+  double recalibration_period = 0.0;
+  /// Error-triggered recalibration: re-lock when the fleet's worst
+  /// thermal-monitor detuning exceeds this threshold [K].  0 disables the
+  /// drift trigger.
+  double drift_threshold = 0.0;
 
   static constexpr double kNoTimeout =
       std::numeric_limits<double>::infinity();

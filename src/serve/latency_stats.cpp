@@ -40,6 +40,12 @@ double ServeReport::warm_fraction() const {
                     : 0.0;
 }
 
+double ServeReport::accuracy() const {
+  return requests.empty() ? 0.0
+                          : static_cast<double>(reference_matches) /
+                                static_cast<double>(requests.size());
+}
+
 double ServeReport::mean_batch() const {
   return batches.empty() ? 0.0
                          : static_cast<double>(requests.size()) /

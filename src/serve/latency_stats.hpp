@@ -47,6 +47,21 @@ struct ServeReport {
   std::size_t passes = 0;       ///< weight-tile residencies streamed
   std::size_t warm_passes = 0;  ///< residencies served without a reload
 
+  // --- drift / online recalibration ----------------------------------------
+  /// True when the run scored batches against the float reference.  The
+  /// Server only pays that extra reference execution on fleets where the
+  /// answer is non-trivial — device variation or thermal drift enabled;
+  /// on a pristine fleet scoring is skipped and accuracy() reads 0.
+  bool accuracy_scored = false;
+  /// Requests whose predicted class matched the float-reference argmax.
+  std::size_t reference_matches = 0;
+  /// Recalibrations the serving policy triggered during the run.
+  std::size_t recalibrations = 0;
+  /// Modeled fleet downtime spent recalibrating [s] (included in makespan).
+  double recalibration_time = 0.0;
+  /// Worst per-batch fleet detuning seen during the run [K].
+  double max_abs_detuning = 0.0;
+
   /// Completed requests per modeled second.
   double throughput() const;
 
@@ -58,6 +73,11 @@ struct ServeReport {
 
   /// Fraction of tile passes that skipped the pSRAM reload.
   double warm_fraction() const;
+
+  /// Fraction of requests whose predicted class matched the float
+  /// reference — the serving-level accuracy the drift/recalibration
+  /// frontier trades against downtime.
+  double accuracy() const;
 
   /// Mean dispatched batch size.
   double mean_batch() const;

@@ -91,4 +91,12 @@ BatchDispatch ModelRegistry::run_batch(const std::string& name,
   return out;
 }
 
+Matrix ModelRegistry::reference_batch(const std::string& name,
+                                      const Matrix& x) {
+  const Entry& e = entry(name);
+  expects(x.cols() == e.compiled.input_size(),
+          "batch width does not match the model input width");
+  return graph::run(e.compiled, reference_backend_, x);
+}
+
 }  // namespace ptc::serve

@@ -81,6 +81,12 @@ class ModelRegistry {
   /// cold.
   BatchDispatch run_batch(const std::string& name, const Matrix& x);
 
+  /// Float-reference logits for the same batch: the compiled schedule run
+  /// on an exact digital backend.  The Server compares argmaxes against
+  /// run_batch's to measure the accuracy cost of device variation and
+  /// thermal drift; costs nothing on the modeled hardware clock.
+  Matrix reference_batch(const std::string& name, const Matrix& x);
+
   /// Forgets residency state (fresh fleet), e.g. at the start of a run.
   void reset_residency() { resident_.clear(); }
 
@@ -94,6 +100,7 @@ class ModelRegistry {
 
   runtime::Accelerator& accelerator_;
   runtime::AcceleratorBackend backend_;
+  nn::FloatBackend reference_backend_;
   std::map<std::string, Entry> models_;
   std::string resident_;
 };

@@ -28,6 +28,11 @@ struct RequestRecord {
   std::string model;
   std::size_t batch = 0;      ///< BatchRecord id this request rode in
   std::size_t predicted = 0;  ///< argmax class from the model logits
+  /// True when `predicted` matches the float-reference argmax for the same
+  /// input — the per-request accuracy signal the drift studies aggregate.
+  /// Stays true (vacuously) when the run did not score accuracy; see
+  /// ServeReport::accuracy_scored.
+  bool matches_reference = true;
   double arrival = 0.0;
   double dispatch = 0.0;      ///< when its batch started on the fleet
   double completion = 0.0;
@@ -47,6 +52,11 @@ struct BatchRecord {
   double dispatch = 0.0;
   double completion = 0.0;
   double busy = 0.0;            ///< summed core-busy time [s]
+  /// Worst per-core |thermal detuning| across the fleet at dispatch [K]
+  /// (0 while drift is disabled).
+  double detuning = 0.0;
+  /// Fleet calibration epoch the batch executed in (core 0's counter).
+  std::size_t epoch = 0;
 };
 
 }  // namespace ptc::serve

@@ -19,6 +19,7 @@ ServeReport Server::run(const std::vector<Request>& requests,
             "requests must be sorted by arrival time");
   }
   registry_.reset_residency();
+  accelerator_.reset_drift();
   const double energy_before = accelerator_.fleet_ledger().total_energy();
 
   DynamicBatcher batcher(policy);
@@ -28,6 +29,16 @@ ServeReport Server::run(const std::vector<Request>& requests,
 
   std::size_t next = 0;
   double fleet_free = 0.0;
+  double last_recalibration = 0.0;
+  // Accuracy scoring costs one float-reference execution per batch; only
+  // pay it where the comparison is non-trivial (varied or drifting fleet).
+  const runtime::AcceleratorConfig& fleet_config = accelerator_.config();
+  report.accuracy_scored = accelerator_.drift_enabled() ||
+                           fleet_config.variation.seed != 0 ||
+                           fleet_config.variation_seed != 0;
+  // At most one re-lock between dispatches, so a policy whose period is
+  // shorter than the recalibration downtime still makes forward progress.
+  bool recalibrated_since_dispatch = false;
 
   while (next < requests.size() || batcher.has_pending()) {
     if (!batcher.has_pending()) {
@@ -53,6 +64,29 @@ ServeReport Server::run(const std::vector<Request>& requests,
       drain = true;
     }
 
+    // The fleet drifts up to the launch instant; then the recalibration
+    // policy gets a look before the batch commits.
+    accelerator_.advance_to(dispatch_at);
+    if (!recalibrated_since_dispatch) {
+      const bool periodic_due =
+          policy.recalibration_period > 0.0 &&
+          dispatch_at - last_recalibration >= policy.recalibration_period;
+      const bool drift_due =
+          policy.drift_threshold > 0.0 &&
+          accelerator_.max_abs_detuning() > policy.drift_threshold;
+      if (periodic_due || drift_due) {
+        const runtime::BatchCost downtime = accelerator_.recalibrate();
+        ++report.recalibrations;
+        report.recalibration_time += downtime.latency;
+        last_recalibration = dispatch_at;
+        recalibrated_since_dispatch = true;
+        fleet_free = dispatch_at + downtime.latency;
+        // Re-enter the loop: arrivals during the re-lock join the queue
+        // and the dispatch instant moves past the downtime.
+        continue;
+      }
+    }
+
     std::vector<Request> batch =
         batcher.pop_ready(dispatch_at, registry_.resident_model(), drain);
     expects(!batch.empty(), "a ready batch must be non-empty");
@@ -71,6 +105,12 @@ ServeReport Server::run(const std::vector<Request>& requests,
     const double completion = dispatch_at + result.latency;
     const std::vector<std::size_t> predicted =
         nn::argmax_rows(result.logits);
+    // Accuracy scoring: the same batch through the exact float reference.
+    std::vector<std::size_t> reference;
+    if (report.accuracy_scored) {
+      reference =
+          nn::argmax_rows(registry_.reference_batch(batch.front().model, x));
+    }
 
     BatchRecord batch_record;
     batch_record.id = report.batches.size();
@@ -81,6 +121,11 @@ ServeReport Server::run(const std::vector<Request>& requests,
     batch_record.dispatch = dispatch_at;
     batch_record.completion = completion;
     batch_record.busy = result.busy;
+    batch_record.detuning = accelerator_.max_abs_detuning();
+    batch_record.epoch = accelerator_.core(0).calibration_epoch();
+    report.max_abs_detuning =
+        std::max(report.max_abs_detuning, batch_record.detuning);
+    recalibrated_since_dispatch = false;
 
     for (std::size_t r = 0; r < batch.size(); ++r) {
       RequestRecord record;
@@ -89,6 +134,11 @@ ServeReport Server::run(const std::vector<Request>& requests,
       record.model = std::move(batch[r].model);
       record.batch = batch_record.id;
       record.predicted = predicted[r];
+      record.matches_reference =
+          !report.accuracy_scored || predicted[r] == reference[r];
+      if (report.accuracy_scored && record.matches_reference) {
+        ++report.reference_matches;
+      }
       record.arrival = batch[r].arrival;
       record.dispatch = dispatch_at;
       record.completion = completion;

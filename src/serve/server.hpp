@@ -32,7 +32,15 @@ class Server {
   /// qualifies) under `policy` and returns the full report.  Arrivals at
   /// exactly the dispatch instant join the closing batch.  Once the
   /// arrival stream ends, leftover queued requests drain as partial
-  /// batches.  Residency state resets at the start of every run.
+  /// batches.  Residency and drift state reset at the start of every run.
+  ///
+  /// When the fleet models thermal drift, the event loop advances the
+  /// accelerator's drift clock to every dispatch instant and applies the
+  /// policy's recalibration triggers (periodic and/or detuning-threshold)
+  /// before launching the batch; recalibration downtime pushes the fleet's
+  /// free time forward, so arrivals during a re-lock simply queue.  Every
+  /// batch is also scored against the float-reference logits, giving the
+  /// report its accuracy / drift / recalibration accounting.
   ServeReport run(const std::vector<Request>& requests,
                   const BatchPolicy& policy);
 

@@ -81,6 +81,100 @@ TEST(GraphIr, BuilderRejectsIllFormedWiring) {
   EXPECT_THROW(empty.matmul(0, Matrix(4, 4)), std::invalid_argument);
 }
 
+// What a builder precondition actually said when it fired.
+template <typename F>
+std::string builder_error(F&& build) {
+  try {
+    build();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(GraphIr, BuilderRejectsMalformedInputShapes) {
+  Graph rank2;
+  EXPECT_THROW(rank2.input(Shape{{4, 4}}), std::invalid_argument);
+  Graph rank0;
+  EXPECT_THROW(rank0.input(Shape{{}}), std::invalid_argument);
+  Graph zero;
+  EXPECT_THROW(zero.input(Shape{{0}}), std::invalid_argument);
+  Graph zero_channel;
+  EXPECT_THROW(zero_channel.input(Shape{{4, 4, 0}}), std::invalid_argument);
+}
+
+TEST(GraphIr, BuilderRejectsUseBeforeDefOnEveryOperand) {
+  Graph g;
+  const auto x = g.input(Shape{{4, 4, 1}});
+  const auto missing = x + 7;  // never built
+  EXPECT_THROW(g.relu(missing), std::invalid_argument);
+  EXPECT_THROW(g.flatten(missing), std::invalid_argument);
+  EXPECT_THROW(g.softmax(missing), std::invalid_argument);
+  EXPECT_THROW(g.maxpool(missing, 2), std::invalid_argument);
+  EXPECT_THROW(g.bias(missing, {0.0}), std::invalid_argument);
+  EXPECT_THROW(g.conv2d(missing, Matrix(9, 2), 3), std::invalid_argument);
+  EXPECT_THROW(g.matmul(missing, Matrix(4, 4)), std::invalid_argument);
+  EXPECT_THROW(g.add(x, missing), std::invalid_argument);  // second operand
+  EXPECT_THROW(g.node(missing), std::invalid_argument);
+  // The diagnostic names the offending id and the graph size.
+  const std::string what = builder_error([&] { g.relu(missing); });
+  EXPECT_NE(what.find(std::to_string(missing)), std::string::npos);
+  EXPECT_NE(what.find("1 nodes"), std::string::npos);
+}
+
+TEST(GraphIr, BuilderRejectsDegenerateOperators) {
+  Graph g;
+  const auto x = g.input(Shape{{4, 4, 1}});
+  EXPECT_THROW(g.conv2d(x, Matrix(0, 0), 0), std::invalid_argument);
+  EXPECT_THROW(g.conv2d(x, Matrix(9, 0), 3), std::invalid_argument);
+  EXPECT_THROW(g.maxpool(x, 0), std::invalid_argument);
+  const auto f = g.flatten(x);
+  EXPECT_THROW(g.matmul(f, Matrix(16, 0)), std::invalid_argument);
+  EXPECT_THROW(g.flatten(f), std::invalid_argument);  // already rank 1
+  EXPECT_THROW(g.maxpool(f, 2), std::invalid_argument);  // vector maxpool
+  EXPECT_THROW(g.conv2d(f, Matrix(9, 2), 3), std::invalid_argument);
+}
+
+TEST(GraphIr, ShapeMismatchDiagnosticsCarryTheActualShapes) {
+  Graph g;
+  const auto x = g.input(Shape{{4, 4, 2}});
+  const std::string bias_what =
+      builder_error([&] { g.bias(x, std::vector<double>(5, 0.0)); });
+  EXPECT_NE(bias_what.find("5"), std::string::npos);
+  EXPECT_NE(bias_what.find("4x4x2"), std::string::npos);
+
+  const std::string conv_what =
+      builder_error([&] { g.conv2d(x, Matrix(9, 3), 3); });
+  EXPECT_NE(conv_what.find("9 rows"), std::string::npos);
+  EXPECT_NE(conv_what.find("18"), std::string::npos);  // 3*3*2 expected rows
+
+  const std::string pool_what = builder_error([&] { g.maxpool(x, 9); });
+  EXPECT_NE(pool_what.find("9"), std::string::npos);
+  EXPECT_NE(pool_what.find("4x4x2"), std::string::npos);
+}
+
+TEST(GraphIr, OutputSelectionValidatesAndLastMarkWins) {
+  Graph g;
+  const auto x = g.input(Shape{{8}});
+  const auto a = g.relu(x);
+  const auto b = g.softmax(a);
+  EXPECT_EQ(g.output_id(), b);  // default: last node
+  g.mark_output(a);
+  g.mark_output(b);  // re-marking is allowed; the last mark wins
+  EXPECT_EQ(g.output_id(), b);
+  g.mark_output(a);
+  EXPECT_EQ(g.output_id(), a);
+  // Later appends no longer steal the output once it is explicit.
+  g.relu(b);
+  EXPECT_EQ(g.output_id(), a);
+  EXPECT_THROW(g.mark_output(99), std::invalid_argument);
+
+  Graph empty;
+  EXPECT_THROW(empty.output_id(), std::invalid_argument);
+  EXPECT_THROW(empty.input_shape(), std::invalid_argument);
+  EXPECT_THROW(empty.output_shape(), std::invalid_argument);
+}
+
 // ---------------------------------------------------------------------------
 // Lowering: step selection, epilogue fusion, dead code
 // ---------------------------------------------------------------------------

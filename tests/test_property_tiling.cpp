@@ -1,0 +1,168 @@
+// Property/fuzz-style randomized tiling tests: ~100 seeded random
+// (m, k, n, batch, cores) matmul shapes asserting three invariants that no
+// hand-picked shape table can pin down exhaustively:
+//
+//  1. fleet matmul == single-core PhotonicBackend matmul, bit for bit
+//     (the canonical-order determinism contract, for every shape);
+//  2. fleet matmul tracks the float reference within the tolerance the
+//     3-bit weight quantization and device nonidealities allow;
+//  3. matmul_cached through a shared WeightPlanCache == the uncached call,
+//     bit for bit, with plans rebuilt only on weight-content changes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/linalg.hpp"
+#include "common/random_matrix.hpp"
+#include "common/rng.hpp"
+#include "core/tensor_core.hpp"
+#include "nn/backend.hpp"
+#include "runtime/accelerator.hpp"
+
+namespace {
+
+using namespace ptc;
+
+constexpr std::size_t kShapes = 100;
+
+struct RandomShape {
+  std::size_t samples;
+  std::size_t k;
+  std::size_t m;
+  std::size_t cores;
+  bool differential;
+  bool quantize;
+};
+
+RandomShape draw_shape(Rng& rng) {
+  RandomShape s;
+  s.samples = 1 + rng.below(6);
+  s.k = 1 + rng.below(40);
+  s.m = 1 + rng.below(40);
+  s.cores = 1 + rng.below(4);
+  s.differential = rng.bernoulli(0.5);
+  s.quantize = rng.bernoulli(0.3);
+  return s;
+}
+
+/// One prebuilt fleet per core count — core construction is the expensive
+/// part, the shapes stream through them.
+class PropertyTiling : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fleets_ = new std::vector<std::unique_ptr<runtime::Accelerator>>();
+    for (std::size_t cores = 1; cores <= 4; ++cores) {
+      fleets_->push_back(std::make_unique<runtime::Accelerator>(
+          runtime::AcceleratorConfig{.cores = cores}));
+    }
+    single_ = new core::TensorCore();
+  }
+  static void TearDownTestSuite() {
+    delete fleets_;
+    fleets_ = nullptr;
+    delete single_;
+    single_ = nullptr;
+  }
+
+  static std::vector<std::unique_ptr<runtime::Accelerator>>* fleets_;
+  static core::TensorCore* single_;
+};
+
+std::vector<std::unique_ptr<runtime::Accelerator>>* PropertyTiling::fleets_ =
+    nullptr;
+core::TensorCore* PropertyTiling::single_ = nullptr;
+
+TEST_F(PropertyTiling, FleetMatchesSingleCoreAndFloatReferenceOnRandomShapes) {
+  Rng rng(20260727);
+  double worst_relative = 0.0;
+  for (std::size_t iter = 0; iter < kShapes; ++iter) {
+    const RandomShape shape = draw_shape(rng);
+    SCOPED_TRACE(::testing::Message()
+                 << "iter " << iter << ": samples=" << shape.samples
+                 << " k=" << shape.k << " m=" << shape.m
+                 << " cores=" << shape.cores
+                 << " differential=" << shape.differential
+                 << " quantize=" << shape.quantize);
+
+    const Matrix x = random_activations(shape.samples, shape.k, rng);
+    const Matrix w = random_signed(shape.k, shape.m, rng);
+    nn::PhotonicBackendOptions options;
+    options.quantize_output = shape.quantize;
+    options.differential_weights = shape.differential;
+
+    runtime::Accelerator& fleet = *(*fleets_)[shape.cores - 1];
+    const Matrix y = fleet.matmul(x, w, options);
+    ASSERT_EQ(y.rows(), shape.samples);
+    ASSERT_EQ(y.cols(), shape.m);
+
+    // (1) Bit-identical to the sequential single-core backend.
+    nn::PhotonicBackend reference_core(*single_, options);
+    const Matrix y_single = reference_core.matmul(x, w);
+    EXPECT_EQ(y.max_abs_diff(y_single), 0.0);
+
+    // (2) Within quantization tolerance of the float reference.  The
+    // dominant error is the 3-bit weight grid (step max|w| / 3.5); device
+    // nonidealities (extinction floor, crosstalk) add a few percent.  The
+    // bound is loose enough to be shape-independent but tight enough that
+    // any mis-tiled index or dropped pass (errors of order a full column)
+    // blows through it.
+    double w_max = 0.0;
+    for (double v : w.data()) w_max = std::max(w_max, std::abs(v));
+    const Matrix y_ref = matmul(x, w);
+    double tolerance =
+        w_max * (0.35 * std::sqrt(static_cast<double>(shape.k)) +
+                 0.03 * static_cast<double>(shape.k)) +
+        1e-12;
+    if (shape.quantize) {
+      // The 3-bit eoADC rounds each pass's row value to a 1/max_code grid;
+      // after the x tile_k un-normalization that is up to
+      // tile_k / max_code per pass, accumulated over the k-tile passes
+      // (doubled by the offset encoding's 2 * unit_dot term).
+      const double k_tiles = std::ceil(static_cast<double>(shape.k) / 16.0);
+      tolerance += w_max * 2.0 * (16.0 / 7.0) * k_tiles;
+    }
+    const double err = y.max_abs_diff(y_ref);
+    EXPECT_LE(err, tolerance);
+    worst_relative = std::max(worst_relative, err / tolerance);
+  }
+  // The tolerance is doing work (not vacuously loose).
+  EXPECT_GT(worst_relative, 0.05);
+}
+
+TEST_F(PropertyTiling, CachedMatmulIsBitIdenticalToUncachedOnRandomShapes) {
+  Rng rng(424242);
+  nn::WeightPlanCache cache(16);
+  for (std::size_t iter = 0; iter < kShapes; ++iter) {
+    const RandomShape shape = draw_shape(rng);
+    SCOPED_TRACE(::testing::Message()
+                 << "iter " << iter << ": samples=" << shape.samples
+                 << " k=" << shape.k << " m=" << shape.m
+                 << " cores=" << shape.cores);
+
+    const Matrix x = random_activations(shape.samples, shape.k, rng);
+    const Matrix w = random_signed(shape.k, shape.m, rng);
+    nn::PhotonicBackendOptions options;
+    options.quantize_output = shape.quantize;
+    options.differential_weights = shape.differential;
+
+    runtime::Accelerator& fleet = *(*fleets_)[shape.cores - 1];
+    const std::size_t builds_before = cache.builds();
+    const Matrix y_cached = fleet.matmul(x, w, options, cache);
+    EXPECT_EQ(cache.builds(), builds_before + 1);  // fresh weights: one build
+
+    const Matrix y_uncached = fleet.matmul(x, w, options);
+    EXPECT_EQ(y_cached.max_abs_diff(y_uncached), 0.0);
+
+    // Replaying the same weights through the shared cache re-plans nothing
+    // and changes nothing.
+    const std::size_t builds_after = cache.builds();
+    const Matrix y_replay = fleet.matmul(x, w, options, cache);
+    EXPECT_EQ(cache.builds(), builds_after);
+    EXPECT_EQ(y_replay.max_abs_diff(y_cached), 0.0);
+  }
+}
+
+}  // namespace
