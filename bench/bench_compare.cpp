@@ -1,0 +1,60 @@
+// CI regression gate over the in-repo perf trajectory: diffs freshly
+// produced BENCH_*.json artifacts against the committed baselines and
+// fails (nonzero exit) when any gated metric regressed beyond its
+// baseline-declared tolerance.
+//
+// Usage: bench_compare <baseline.json> <current.json> [<baseline> <current> ...]
+//
+// Gating is read from the *baseline*: the committed trajectory owns the
+// bar, so a current run cannot loosen its own gates.  Informational
+// metrics print in the diff table but never gate.  See docs/telemetry.md
+// for the artifact schema and the baseline-update workflow.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "telemetry/bench_report.hpp"
+
+namespace {
+
+using namespace ptc;
+
+bool compare_pair(const std::string& baseline_path,
+                  const std::string& current_path) {
+  const telemetry::BenchComparison comparison =
+      telemetry::compare_bench_files(baseline_path, current_path);
+
+  std::cout << baseline_path << " vs " << current_path << ":\n";
+  for (const std::string& problem : comparison.problems) {
+    std::cout << "  problem: " << problem << "\n";
+  }
+  TablePrinter table({"metric", "baseline", "current", "ratio", "verdict"});
+  for (const telemetry::MetricComparison& m : comparison.metrics) {
+    table.add_row({m.name, TablePrinter::num(m.baseline, 6),
+                   TablePrinter::num(m.current, 6),
+                   TablePrinter::num(m.ratio, 4), m.note});
+  }
+  table.print(std::cout);
+  std::cout << (comparison.pass ? "PASS" : "FAIL") << "\n\n";
+  return comparison.pass;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3 || (argc - 1) % 2 != 0) {
+    std::cerr << "usage: " << argv[0]
+              << " <baseline.json> <current.json> [<baseline> <current> ...]\n";
+    return 2;
+  }
+  bool pass = true;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    pass = compare_pair(argv[i], argv[i + 1]) && pass;
+  }
+  std::cout << (pass ? "all benches within tolerance of their baselines"
+                     : "regression detected: some gated metric exceeded its "
+                       "baseline tolerance")
+            << "\n";
+  return pass ? 0 : 1;
+}

@@ -11,14 +11,15 @@
 // per-weight-load gains instead of re-deriving static device physics per
 // sample.
 //
-// Emits BENCH_perf.json (machine-readable, for the perf trajectory) and
-// exits nonzero if the acceptance row (8 cores, batch 256) speeds up less
-// than 5x — the CI perf-smoke gate.
+// Emits BENCH_perf.json (telemetry::BenchReport — the in-repo perf
+// trajectory bench/bench_compare gates CI against) and exits nonzero if the
+// acceptance row (8 cores, batch 256) speeds up less than 5x.  The gated
+// speedup metric carries a wide tolerance (it is a wall-clock ratio on a
+// shared CI runner); per-row samples/s are informational.  With PTC_TRACE
+// set, one acceptance-point dispatch is traced to that path.
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,8 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "runtime/accelerator.hpp"
+#include "telemetry/bench_report.hpp"
+#include "telemetry/trace.hpp"
 
 namespace {
 
@@ -37,6 +40,11 @@ constexpr std::size_t kOutputs = 64;   // m: 4 output tiles
 constexpr std::size_t kAcceptCores = 8;
 constexpr std::size_t kAcceptBatch = 256;
 constexpr double kAcceptSpeedup = 5.0;
+// Wall-clock ratios on a shared runner are noisy: the regression gate only
+// trips when the speedup drops 40% below the committed baseline — wide
+// enough for runner noise, tight enough that a 2x slowdown of the fast
+// path demonstrably fails.
+constexpr double kSpeedupTolerance = 0.4;
 
 struct Row {
   std::size_t cores = 0;
@@ -100,16 +108,24 @@ Row run_config(std::size_t cores, std::size_t batch, bool quantize,
   return row;
 }
 
-std::string json_row(const Row& row) {
-  std::ostringstream out;
-  out << "    {\"cores\": " << row.cores << ", \"batch\": " << row.batch
-      << ", \"quantize_output\": " << (row.quantize ? "true" : "false")
-      << ", \"fast_samples_per_s\": " << row.fast_samples_per_s
-      << ", \"physics_samples_per_s\": " << row.physics_samples_per_s
-      << ", \"speedup\": " << row.speedup
-      << ", \"bit_identical\": " << (row.bit_identical ? "true" : "false")
-      << "}";
-  return out.str();
+std::string row_suffix(const Row& row) {
+  return "c" + std::to_string(row.cores) + "_b" + std::to_string(row.batch) +
+         (row.quantize ? "" : "_analog");
+}
+
+/// One traced dispatch at the acceptance point: the per-core pass/reload
+/// spans of a single fleet matmul, written as Chrome trace JSON.
+void write_trace(const std::string& path, const Matrix& w) {
+  Rng rng(7 + kAcceptBatch);
+  const Matrix x = random_activations(kAcceptBatch, kInner, rng);
+  Accelerator accelerator({.cores = kAcceptCores});
+  telemetry::Tracer tracer;
+  accelerator.set_tracer(&tracer);
+  accelerator.matmul(x, w, {});
+  tracer.write_chrome_json_file(path);
+  std::cout << "\nPTC_TRACE: wrote " << tracer.size() << " events to " << path
+            << " (one " << kAcceptCores << "-core dispatch, batch "
+            << kAcceptBatch << ")\n";
 }
 
 }  // namespace
@@ -160,21 +176,29 @@ int main() {
             << "x (need >= " << kAcceptSpeedup << "x, bit-identical): "
             << (pass ? "PASS" : "FAIL") << "\n";
 
-  std::ofstream json("BENCH_perf.json");
-  json << "{\n  \"bench\": \"perf_matmul\",\n"
-       << "  \"matmul\": {\"k\": " << kInner << ", \"m\": " << kOutputs
-       << "},\n"
-       << "  \"acceptance\": {\"cores\": " << kAcceptCores
-       << ", \"batch\": " << kAcceptBatch
-       << ", \"min_speedup\": " << kAcceptSpeedup
-       << ", \"speedup\": " << accept_speedup
-       << ", \"pass\": " << (pass ? "true" : "false") << "},\n"
-       << "  \"rows\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    json << json_row(rows[i]) << (i + 1 < rows.size() ? ",\n" : "\n");
+  telemetry::BenchReport report("perf_matmul");
+  report.set_meta("k", static_cast<double>(kInner));
+  report.set_meta("m", static_cast<double>(kOutputs));
+  report.set_meta("acceptance_cores", static_cast<double>(kAcceptCores));
+  report.set_meta("acceptance_batch", static_cast<double>(kAcceptBatch));
+  report.add_metric("accept_speedup", accept_speedup, "x",
+                    telemetry::Direction::kHigherIsBetter, kSpeedupTolerance);
+  report.add_metric("all_bit_identical", all_identical ? 1.0 : 0.0, "bool",
+                    telemetry::Direction::kHigherIsBetter, 0.0);
+  for (const Row& row : rows) {
+    const std::string suffix = row_suffix(row);
+    report.add_info("fast_samples_per_s_" + suffix, row.fast_samples_per_s,
+                    "samples/s");
+    report.add_info("physics_samples_per_s_" + suffix,
+                    row.physics_samples_per_s, "samples/s");
+    report.add_info("speedup_" + suffix, row.speedup, "x");
   }
-  json << "  ]\n}\n";
+  report.write("BENCH_perf.json");
   std::cout << "wrote BENCH_perf.json\n";
+
+  if (const char* trace_path = telemetry::trace_path_from_env()) {
+    write_trace(trace_path, w);
+  }
 
   return pass ? 0 : 1;
 }

@@ -16,8 +16,14 @@
 // Exit status is the acceptance gate: at the highest drift rate the best
 // recalibration policy must recover >= 90% of the drift-free accuracy while
 // the no-recalibration row degrades below that bar.
+//
+// Emits BENCH_drift.json (telemetry::BenchReport): every swept point's
+// accuracy / p99 / downtime on *modeled* time — deterministic across hosts,
+// so the regression gates carry tight tolerances; any drift there is a
+// behavior change, not runner noise.
 #include <algorithm>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -30,6 +36,7 @@
 #include "serve/load_generator.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/server.hpp"
+#include "telemetry/bench_report.hpp"
 
 namespace {
 
@@ -59,6 +66,18 @@ int main() {
       {"drift > 0.10K",
        {.max_batch = 8, .max_wait = 20e-9, .drift_threshold = 0.10}},
   };
+  // Stable per-policy metric-name keys for the BENCH artifact.
+  const char* policy_keys[] = {"none", "periodic", "threshold"};
+
+  // Modeled-time results are bit-deterministic: the gates tolerate only
+  // float formatting slack, so any serving-layer behavior change shows up
+  // as a bench_compare failure (regenerate the committed baseline with the
+  // diff in review, like the golden tests).
+  constexpr double kTightTolerance = 1e-6;
+  telemetry::BenchReport bench("serving_drift");
+  bench.set_meta("cores", static_cast<double>(kCores));
+  bench.set_meta("requests", static_cast<double>(kRequests));
+  bench.set_meta("rate_req_per_s", kRate);
 
   std::cout << "serving-drift frontier: " << kCores
             << "-core variation-aware fleet, 6-bit weights, analog "
@@ -95,11 +114,21 @@ int main() {
         1234);
     const std::vector<Request> requests = generator.generate(registry);
 
-    for (const PolicyRow& row : policies) {
+    for (std::size_t p = 0; p < 3; ++p) {
+      const PolicyRow& row = policies[p];
       const ServeReport report = server.run(requests, row.policy);
       const double downtime_fraction =
           report.makespan > 0.0 ? report.recalibration_time / report.makespan
                                 : 0.0;
+      {
+        std::ostringstream key;
+        key << policy_keys[p] << "_sigma" << TablePrinter::num(sigma, 2);
+        bench.add_info("accuracy_" + key.str(), report.accuracy(), "frac");
+        bench.add_info("p99_" + key.str(), report.total.p99, "s");
+        bench.add_info("downtime_" + key.str(), downtime_fraction, "frac");
+        bench.add_info("recals_" + key.str(),
+                       static_cast<double>(report.recalibrations), "count");
+      }
       table.add_row({TablePrinter::num(sigma, 2), row.label,
                      TablePrinter::num(report.accuracy(), 3),
                      units::si_format(report.total.p50, "s"),
@@ -131,6 +160,15 @@ int main() {
             << ", best recalibrated "
             << TablePrinter::num(best_recal_accuracy, 3) << " (bar "
             << TablePrinter::num(bar, 3) << ")\n";
+
+  bench.add_metric("drift_free_accuracy", drift_free_accuracy, "frac",
+                   telemetry::Direction::kHigherIsBetter, kTightTolerance);
+  bench.add_metric("best_recal_accuracy", best_recal_accuracy, "frac",
+                   telemetry::Direction::kHigherIsBetter, kTightTolerance);
+  // Low on purpose — the sweep must show uncompensated drift degrading.
+  bench.add_info("no_recal_accuracy", no_recal_accuracy, "frac");
+  bench.write("BENCH_drift.json");
+  std::cout << "wrote BENCH_drift.json\n";
 
   if (best_recal_accuracy < bar) {
     std::cout << "FAIL: recalibration does not recover 90% of the "

@@ -10,6 +10,15 @@
 //  - resident regime (model fits the fleet): consecutive batches reuse the
 //    resident weight tiles and skip reloads entirely, the serving-side
 //    payoff of the paper's 20 GHz weight-streaming argument.
+//
+// Emits BENCH_serving.json (telemetry::BenchReport): modeled-time results
+// are bit-deterministic, so the gated metrics carry tight tolerances.  The
+// closing multi-tenant section mixes all three tenants through one fleet;
+// with PTC_TRACE=<path> it attaches a span tracer, prints each model's
+// compiled pass schedule (graph::schedule_dump), writes the Chrome trace,
+// and verifies the trace's span counts against the ServeReport — the
+// end-to-end observability check CI's bench-smoke job runs.
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -25,6 +34,9 @@
 #include "serve/load_generator.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/server.hpp"
+#include "telemetry/bench_report.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace {
 
@@ -153,6 +165,94 @@ int main() {
     }
   }
   cnn_table.print(std::cout);
+
+  // --- multi-tenant closing section -----------------------------------
+  // All three tenants share the fleet under one dynamic policy: the
+  // scenario the telemetry subsystem instruments end to end (request
+  // lifecycles, batch windows, per-core passes, queue depth).
+  std::cout << "\nmulti-tenant mix (alpha->stream, beta->resident, "
+               "gamma->cnn on one fleet, b<=16, w=50ns):\n";
+  telemetry::Tracer tracer;
+  telemetry::MetricsRegistry metrics;
+  const char* trace_path = telemetry::trace_path_from_env();
+  if (trace_path != nullptr) {
+    server.set_tracer(&tracer);
+    server.set_metrics(&metrics);
+    for (const char* name : {"stream", "resident", "cnn"}) {
+      std::cout << "\ncompiled schedule [" << name << "]:\n"
+                << registry.schedule_dump(name);
+    }
+  }
+  const LoadGenerator mixed(
+      {{.name = "alpha", .model = "stream", .rate = 120e6, .requests = 40},
+       {.name = "beta", .model = "resident", .rate = 300e6, .requests = 32},
+       {.name = "gamma", .model = "cnn", .rate = 80e6, .requests = 24}},
+      777);
+  const BatchPolicy mixed_policy{.max_batch = 16, .max_wait = 50e-9};
+  const ServeReport mixed_report =
+      server.run(mixed.generate(registry), mixed_policy);
+  server.set_tracer(nullptr);
+  server.set_metrics(nullptr);
+
+  TablePrinter mixed_table({"tenant", "count", "p50", "p99"});
+  for (const char* tenant : {"alpha", "beta", "gamma"}) {
+    const LatencyStats stats = mixed_report.tenant_total(tenant);
+    mixed_table.add_row({tenant, std::to_string(stats.count),
+                         units::si_format(stats.p50, "s"),
+                         units::si_format(stats.p99, "s")});
+  }
+  mixed_table.print(std::cout);
+  std::cout << "fleet: " << units::si_format(mixed_report.throughput(),
+                                             "req/s")
+            << ", p99 " << units::si_format(mixed_report.total.p99, "s")
+            << ", mean batch "
+            << TablePrinter::num(mixed_report.mean_batch(), 3)
+            << ", warm "
+            << TablePrinter::num(100.0 * mixed_report.warm_fraction(), 3)
+            << " %\n";
+
+  if (trace_path != nullptr) {
+    tracer.write_chrome_json_file(trace_path);
+    // The acceptance check: every request contributes one async begin/end
+    // pair and every dispatched batch one "batch" span — the trace and the
+    // report must agree exactly.
+    const std::size_t request_spans =
+        tracer.count(telemetry::TraceEvent::Phase::kAsyncBegin, "request");
+    const std::size_t batch_spans =
+        tracer.count(telemetry::TraceEvent::Phase::kComplete, "batch");
+    std::cout << "\nPTC_TRACE: wrote " << tracer.size() << " events to "
+              << trace_path << " (" << request_spans << " request spans, "
+              << batch_spans << " batch spans)\n";
+    if (request_spans != mixed_report.completed ||
+        batch_spans != mixed_report.dispatched_batches) {
+      std::cout << "FAIL: trace span counts disagree with the report ("
+                << mixed_report.completed << " requests, "
+                << mixed_report.dispatched_batches << " batches)\n";
+      return 1;
+    }
+    std::cout << "\nmetrics exposition:\n" << metrics.prometheus_text();
+  }
+
+  telemetry::BenchReport bench("serving_policies");
+  bench.set_meta("cores", static_cast<double>(kCores));
+  bench.set_meta("requests_per_point", 96.0);
+  constexpr double kTightTolerance = 1e-6;
+  bench.add_metric("dynamic_speedup_vs_batch1",
+                   best_dynamic.throughput() / batch1_throughput, "x",
+                   telemetry::Direction::kHigherIsBetter, kTightTolerance);
+  bench.add_metric("dynamic_throughput", best_dynamic.throughput(), "req/s",
+                   telemetry::Direction::kHigherIsBetter, kTightTolerance);
+  bench.add_metric("dynamic_p99", best_dynamic.total.p99, "s",
+                   telemetry::Direction::kLowerIsBetter, kTightTolerance);
+  bench.add_metric("mixed_throughput", mixed_report.throughput(), "req/s",
+                   telemetry::Direction::kHigherIsBetter, kTightTolerance);
+  bench.add_metric("mixed_p99", mixed_report.total.p99, "s",
+                   telemetry::Direction::kLowerIsBetter, kTightTolerance);
+  bench.add_info("batch1_throughput", batch1_throughput, "req/s");
+  bench.add_info("mixed_warm_fraction", mixed_report.warm_fraction(), "frac");
+  bench.add_info("mixed_mean_batch", mixed_report.mean_batch(), "count");
+  bench.write("BENCH_serving.json");
+  std::cout << "\nwrote BENCH_serving.json\n";
 
   std::cout << "\nin the streaming regime the batcher earns its keep: past "
                "batch=1 saturation the queue grows without bound, while the "

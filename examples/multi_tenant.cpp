@@ -4,6 +4,11 @@
 // tiles are already resident, so fewer 20 GHz pSRAM reloads are paid.
 //
 // Run it:  ./example_multi_tenant
+//
+// Set PTC_TRACE=/path/to/trace.json to capture the whole serving run as a
+// Chrome trace (open it in Perfetto / chrome://tracing): request lifetimes,
+// batch dispatches, per-core tile passes and weight reloads, all on the
+// modeled hardware clock.
 #include <iostream>
 
 #include "common/rng.hpp"
@@ -15,6 +20,7 @@
 #include "serve/load_generator.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/server.hpp"
+#include "telemetry/trace.hpp"
 
 int main() {
   using namespace ptc;
@@ -28,6 +34,10 @@ int main() {
   registry.add("vision", nn::Mlp(64, 32, 10, rng));
   registry.add("keyword", nn::Mlp(32, 16, 4, rng));
   Server server(registry);
+
+  telemetry::Tracer tracer;
+  const char* trace_path = telemetry::trace_path_from_env();
+  if (trace_path != nullptr) server.set_tracer(&tracer);
 
   const LoadGenerator generator(
       {{.name = "alice", .model = "vision", .rate = 40e6, .requests = 48},
@@ -65,5 +75,12 @@ int main() {
                "stay resident between its dispatches; vision pays its "
                "reloads every time, which is why its tail is wider than "
                "its rate alone would predict\n";
+
+  if (trace_path != nullptr) {
+    tracer.write_chrome_json_file(trace_path);
+    std::cout << "\nwrote Chrome trace (" << tracer.size() << " events) to "
+              << trace_path << "\nschedule for \"vision\":\n"
+              << registry.schedule_dump("vision");
+  }
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "common/expects.hpp"
 #include "nn/layers.hpp"
 #include "nn/tiling.hpp"
+#include "telemetry/trace.hpp"
 
 namespace ptc::graph {
 namespace {
@@ -129,10 +130,16 @@ Matrix run(const CompiledGraph& compiled, nn::MatmulBackend& backend,
   expects(x.cols() == compiled.input_size(),
           "input width does not match the graph input shape");
 
+  // With a tracer attached (AcceleratorBackend under PTC_TRACE), every
+  // accelerator step gets a span over the modeled time its matmuls
+  // advanced; host-side steps are instants (zero modeled duration).
+  telemetry::Tracer* tracer = backend.tracer();
+
   std::vector<Matrix> slots(compiled.num_slots);
   slots[0] = x;
   for (const Step& step : compiled.steps) {
     const Matrix& in = slots[step.input_slot];
+    const double step_start = tracer != nullptr ? backend.modeled_time() : 0.0;
     Matrix out;
     switch (step.kind) {
       case Step::Kind::kMatmul:
@@ -150,6 +157,16 @@ Matrix run(const CompiledGraph& compiled, nn::MatmulBackend& backend,
     }
     apply_epilogue(out, step, slots);
     slots[step.output_slot] = std::move(out);
+    if (tracer != nullptr) {
+      if (step.on_accelerator()) {
+        tracer->complete(telemetry::track::kSteps, step.label.c_str(),
+                         "step", step_start, backend.modeled_time(),
+                         {{"batch", x.rows()}});
+      } else {
+        tracer->instant(telemetry::track::kSteps, step.label.c_str(), "step",
+                        step_start, {});
+      }
+    }
   }
   return slots[compiled.output_slot];
 }

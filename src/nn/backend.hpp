@@ -9,6 +9,10 @@
 #include "common/linalg.hpp"
 #include "core/tensor_core.hpp"
 
+namespace ptc::telemetry {
+class Tracer;
+}  // namespace ptc::telemetry
+
 /// Pluggable matrix-multiply execution backends: a float reference and the
 /// photonic tensor core.  Networks talk to the backend interface, so the
 /// same model runs digitally or on the simulated hardware.
@@ -69,6 +73,14 @@ class MatmulBackend {
   }
 
   virtual const char* name() const = 0;
+
+  /// Telemetry hooks: backends with a modeled hardware clock and an
+  /// attached span tracer expose them so the graph executor can wrap each
+  /// schedule step in a span.  The default (digital backends, no sink) is
+  /// the zero-overhead no-op path.
+  virtual telemetry::Tracer* tracer() const { return nullptr; }
+  /// Modeled-time cursor [s]; meaningful only when tracer() is attached.
+  virtual double modeled_time() const { return 0.0; }
 };
 
 /// Exact floating-point reference.

@@ -79,12 +79,54 @@ BatchCost Accelerator::batch_cost(std::size_t passes, std::size_t warm_passes,
   pass_costs.insert(pass_costs.end(), warm_passes, cost.compute_s);
   const Schedule schedule = TileScheduler::assign_costs(pass_costs,
                                                         cores_.size());
+  if (tracer_ != nullptr) {
+    trace_batch_schedule(schedule, pass_costs, cost.reload_s,
+                         passes - warm_passes, "pass");
+  }
   BatchCost out;
   out.latency = schedule.makespan();
   out.busy = schedule.total_busy();
   out.reloads = passes - warm_passes;
   out.reload_time = static_cast<double>(out.reloads) * cost.reload_s;
   return out;
+}
+
+void Accelerator::trace_batch_schedule(const Schedule& schedule,
+                                       const std::vector<double>& pass_costs,
+                                       double reload_s, std::size_t cold_count,
+                                       const char* label) const {
+  // Canonical core order on the calling thread: the trace is a pure
+  // function of the schedule, independent of host threading.
+  const double start = trace_time_;
+  for (const CoreShard& shard : schedule.shards) {
+    double t = start;
+    for (const std::size_t index : shard.pass_indices) {
+      const double cost = pass_costs[index];
+      const bool cold = index < cold_count && reload_s > 0.0;
+      const int tid = telemetry::track::kCoreBase +
+                      static_cast<int>(shard.core);
+      tracer_->complete(tid, label, "fleet", t, t + cost,
+                        {{"pass", index}, {"cold", cold}});
+      if (cold) {
+        tracer_->complete(tid, "reload", "fleet", t, t + reload_s, {});
+      }
+      t += cost;
+    }
+  }
+  trace_time_ = start + schedule.makespan();
+}
+
+void Accelerator::set_tracer(telemetry::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) return;
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    tracer_->set_track_name(telemetry::track::kCoreBase + static_cast<int>(i),
+                            "fleet core " + std::to_string(i));
+  }
+}
+
+void Accelerator::set_metrics(telemetry::MetricsRegistry* metrics) {
+  metrics_ = metrics;
 }
 
 void Accelerator::reset_drift() {
@@ -119,6 +161,12 @@ void Accelerator::advance_to(double t) {
     const double detuning = drift_[i].step(dt, drift_rng_[i]);
     cores_[i]->set_thermal_detuning(detuning);
   }
+  if (metrics_ != nullptr) {
+    metrics_
+        ->gauge("fleet_max_abs_detuning_kelvin",
+                "worst per-core |thermal detuning| across the fleet [K]")
+        .set(max_abs_detuning());
+  }
 }
 
 double Accelerator::max_abs_detuning() const {
@@ -135,9 +183,31 @@ BatchCost Accelerator::recalibrate() {
     cores_[i]->recalibrate();
   }
   ++recalibrations_;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter("fleet_recalibrations_total",
+                  "heater re-locks performed across the fleet")
+        .inc();
+  }
   // Downtime: one probe residency per core, all cores in parallel —
-  // costed exactly like a cold serving batch of probe vectors.
-  return batch_cost(cores_.size(), 0, config_.drift.recalibration_samples);
+  // costed exactly like a cold serving batch of probe vectors.  Suppress
+  // the generic pass spans and emit labeled recalibration windows instead.
+  telemetry::Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  const BatchCost downtime =
+      batch_cost(cores_.size(), 0, config_.drift.recalibration_samples);
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    const double start = trace_time_;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+      tracer_->complete(
+          telemetry::track::kCoreBase + static_cast<int>(i), "recalibrate",
+          "fleet", start, start + downtime.latency,
+          {{"probe_samples", config_.drift.recalibration_samples}});
+    }
+    trace_time_ = start + downtime.latency;
+  }
+  return downtime;
 }
 
 Matrix Accelerator::matmul(const Matrix& x, const Matrix& w,
@@ -150,13 +220,23 @@ Matrix Accelerator::matmul(const Matrix& x, const Matrix& w,
                            nn::WeightPlanCache& plan_cache) {
   core::TensorCore& front = *cores_.front();
   Matrix x_norm;
+  const std::size_t builds_before = plan_cache.builds();
   const nn::TilePlan plan = nn::plan_from_weights(
       plan_cache.get(w, front.rows(), front.cols(),
                      options.differential_weights),
       x, x_norm);
+  if (metrics_ != nullptr) {
+    const bool miss = plan_cache.builds() > builds_before;
+    metrics_
+        ->counter(miss ? "fleet_plan_cache_misses_total"
+                       : "fleet_plan_cache_hits_total",
+                  miss ? "weight plans built (mapping + pass list + encode)"
+                       : "weight plans served from cache")
+        .inc();
+  }
 
-  const Schedule schedule =
-      TileScheduler::assign(plan, cores_.size(), pass_cost(plan.samples));
+  const PassCost cost = pass_cost(plan.samples);
+  const Schedule schedule = TileScheduler::assign(plan, cores_.size(), cost);
 
   // Each shard runs its passes on its own core; results land in disjoint
   // slots, so the only synchronization needed is the parallel_for barrier.
@@ -187,6 +267,33 @@ Matrix Accelerator::matmul(const Matrix& x, const Matrix& w,
   stats_.busy_time += schedule.total_busy();
   for (const CoreShard& shard : schedule.shards) {
     stats_.core_busy[shard.core] += shard.busy_time;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("fleet_matmuls_total", "matmul dispatches served")
+        .inc();
+    metrics_
+        ->counter("fleet_tile_passes_total",
+                  "weight-tile passes executed across the fleet")
+        .inc(static_cast<double>(plan.passes.size()));
+    metrics_
+        ->counter("fleet_adc_samples_total",
+                  "ADC sample windows converted across the fleet")
+        .inc(static_cast<double>(plan.passes.size() * plan.samples));
+    metrics_
+        ->counter("fleet_psram_reloads_total",
+                  "full weight-tile pSRAM reloads paid")
+        .inc(static_cast<double>(plan.passes.size()));
+    metrics_
+        ->counter("fleet_reload_seconds_total",
+                  "modeled pSRAM reload latency paid [s]")
+        .inc(static_cast<double>(plan.passes.size()) * cost.reload_s);
+  }
+  if (tracer_ != nullptr) {
+    // Per-core pass spans at the modeled-time cursor — uniform cold costs,
+    // exactly the shard timing stats_ recorded.
+    const std::vector<double> pass_costs(plan.passes.size(), cost.total());
+    trace_batch_schedule(schedule, pass_costs, cost.reload_s,
+                         plan.passes.size(), "pass");
   }
   return y;
 }

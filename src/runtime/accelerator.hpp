@@ -16,6 +16,8 @@
 #include "runtime/stats.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/tile_scheduler.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 /// Multi-tile accelerator runtime: one controller orchestrating a pool of
 /// photonic tensor cores, the scale-out counterpart of the paper's single
@@ -145,6 +147,30 @@ class Accelerator {
   /// this so identical runs see identical drift trajectories.
   void reset_drift();
 
+  // --- telemetry ------------------------------------------------------------
+  /// Attaches a span tracer (nullptr detaches — the default, zero-overhead
+  /// path).  While attached, matmul() and batch_cost() emit per-core tile
+  /// pass / reload spans on the fleet tracks at the modeled-time cursor
+  /// (set_trace_time), and recalibrate() emits per-core re-lock spans.
+  /// Emission happens on the calling thread in canonical core order, so the
+  /// trace is bit-identical across host thread counts.
+  void set_tracer(telemetry::Tracer* tracer);
+  telemetry::Tracer* tracer() const { return tracer_; }
+
+  /// Modeled-time cursor for traced work: the instant the next traced
+  /// matmul/batch starts.  The serve loop pins it to each batch's dispatch
+  /// instant; traced calls advance it by their modeled makespan.
+  void set_trace_time(double t) { trace_time_ = t; }
+  double trace_time() const { return trace_time_; }
+
+  /// Attaches a metrics registry (nullptr detaches).  The fleet publishes
+  /// fleet_matmuls_total, fleet_tile_passes_total, fleet_adc_samples_total,
+  /// fleet_psram_reloads_total, fleet_reload_seconds_total,
+  /// fleet_plan_cache_{hits,misses}_total, fleet_recalibrations_total, and
+  /// the fleet_max_abs_detuning_kelvin gauge.
+  void set_metrics(telemetry::MetricsRegistry* metrics);
+  telemetry::MetricsRegistry* metrics() const { return metrics_; }
+
   /// Fleet statistics accumulated since construction (or reset_stats()),
   /// with energy/power drawn from the live per-core ledgers.
   AcceleratorStats stats() const;
@@ -158,6 +184,14 @@ class Accelerator {
   void reset_stats();
 
  private:
+  /// Emits one batch's per-core pass/reload spans (pass_costs in the
+  /// cold-first order batch_cost builds) starting at the cursor, and
+  /// advances the cursor by the schedule makespan.
+  void trace_batch_schedule(const Schedule& schedule,
+                            const std::vector<double>& pass_costs,
+                            double reload_s, std::size_t cold_count,
+                            const char* label) const;
+
   AcceleratorConfig config_;
   std::vector<std::unique_ptr<core::TensorCore>> cores_;
   ThreadPool pool_;
@@ -170,6 +204,12 @@ class Accelerator {
   std::vector<Rng> drift_rng_;               ///< per-core drift streams
   double clock_ = 0.0;                       ///< modeled fleet time [s]
   std::size_t recalibrations_ = 0;
+  // Telemetry sinks (nullptr = the zero-overhead no-op path).  The cursor
+  // is mutable because traced cost queries (batch_cost) stay const: they
+  // mutate only the observer state, never the modeled device.
+  telemetry::Tracer* tracer_ = nullptr;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  mutable double trace_time_ = 0.0;
 };
 
 }  // namespace ptc::runtime

@@ -29,6 +29,11 @@ class AcceleratorBackend final : public nn::MatmulBackend {
 
   const char* name() const override { return "accelerator"; }
 
+  telemetry::Tracer* tracer() const override {
+    return accelerator_.tracer();
+  }
+  double modeled_time() const override { return accelerator_.trace_time(); }
+
   Accelerator& accelerator() { return accelerator_; }
   const nn::PhotonicBackendOptions& options() const { return options_; }
 

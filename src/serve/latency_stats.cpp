@@ -6,6 +6,18 @@
 
 namespace ptc::serve {
 
+LatencyStats LatencyStats::from_histogram(const telemetry::Histogram& h) {
+  LatencyStats stats;
+  if (h.count() == 0) return stats;
+  stats.count = h.count();
+  stats.mean = h.mean();
+  stats.p50 = h.percentile(50.0);
+  stats.p95 = h.percentile(95.0);
+  stats.p99 = h.percentile(99.0);
+  stats.max = h.max_value();
+  return stats;
+}
+
 LatencyStats LatencyStats::from(const std::vector<double>& xs) {
   LatencyStats stats;
   if (xs.empty()) return stats;
@@ -21,12 +33,11 @@ LatencyStats LatencyStats::from(const std::vector<double>& xs) {
 }
 
 double ServeReport::throughput() const {
-  return makespan > 0.0 ? static_cast<double>(requests.size()) / makespan : 0.0;
+  return makespan > 0.0 ? static_cast<double>(completed) / makespan : 0.0;
 }
 
 double ServeReport::energy_per_request() const {
-  return requests.empty() ? 0.0
-                          : energy / static_cast<double>(requests.size());
+  return completed == 0 ? 0.0 : energy / static_cast<double>(completed);
 }
 
 double ServeReport::utilization() const {
@@ -41,15 +52,15 @@ double ServeReport::warm_fraction() const {
 }
 
 double ServeReport::accuracy() const {
-  return requests.empty() ? 0.0
-                          : static_cast<double>(reference_matches) /
-                                static_cast<double>(requests.size());
+  return completed == 0 ? 0.0
+                        : static_cast<double>(reference_matches) /
+                              static_cast<double>(completed);
 }
 
 double ServeReport::mean_batch() const {
-  return batches.empty() ? 0.0
-                         : static_cast<double>(requests.size()) /
-                               static_cast<double>(batches.size());
+  return dispatched_batches == 0 ? 0.0
+                                 : static_cast<double>(completed) /
+                                       static_cast<double>(dispatched_batches);
 }
 
 LatencyStats ServeReport::tenant_total(const std::string& tenant) const {

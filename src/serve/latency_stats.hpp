@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "serve/request.hpp"
+#include "telemetry/metrics.hpp"
 
 /// Tail-latency summaries and the full per-run report the Server returns.
 /// Percentiles are nearest-rank (statistics::percentile), the convention
@@ -23,13 +24,27 @@ struct LatencyStats {
 
   /// Nearest-rank summary of `xs`; an empty sample yields all zeros.
   static LatencyStats from(const std::vector<double>& xs);
+
+  /// Summary of a telemetry histogram: count/mean/max are exact,
+  /// percentiles are nearest-rank over the log-scale buckets — within one
+  /// bucket (~7.5% at the default resolution) of the exact sample, with
+  /// O(buckets) memory however many requests the run served.  This is how
+  /// Server::run aggregates its fleet-level tails.
+  static LatencyStats from_histogram(const telemetry::Histogram& histogram);
 };
 
 /// Everything one Server::run produced: the request/batch trace, the
 /// latency decomposition, and the fleet-level serving metrics.
 struct ServeReport {
-  std::vector<RequestRecord> requests;  ///< in dispatch order
-  std::vector<BatchRecord> batches;     ///< the deterministic event trace
+  /// Per-request / per-batch traces, in dispatch order.  Populated by
+  /// default; a run with RunOptions::keep_records = false leaves them empty
+  /// (O(histogram-buckets) memory at any request count) and the scalar
+  /// counters below still carry the fleet totals.
+  std::vector<RequestRecord> requests;
+  std::vector<BatchRecord> batches;
+
+  std::size_t completed = 0;           ///< requests served
+  std::size_t dispatched_batches = 0;  ///< batches dispatched
 
   LatencyStats queue_wait;  ///< arrival -> dispatch
   LatencyStats service;     ///< dispatch -> completion

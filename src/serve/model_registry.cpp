@@ -78,17 +78,45 @@ BatchDispatch ModelRegistry::run_batch(const std::string& name,
 
   const bool warm = resident_ == name && fits_resident(name);
   BatchDispatch out;
+
+  // In serve mode the modeled timing comes from the batch_cost loop below,
+  // not from the real execution — detach the tracer around graph::run so
+  // each hardware span is emitted exactly once, by the costing pass.
+  telemetry::Tracer* tracer = accelerator_.tracer();
+  if (tracer != nullptr) accelerator_.set_tracer(nullptr);
   out.logits = graph::run(e.compiled, backend_, x);
+  if (tracer != nullptr) accelerator_.set_tracer(tracer);
+
   for (const graph::StepPasses& sp : e.profile.steps) {
+    const double step_start = accelerator_.trace_time();
     const runtime::BatchCost cost = accelerator_.batch_cost(
         sp.passes, warm ? sp.passes : 0, x.rows() * sp.rows_per_sample);
+    if (tracer != nullptr) {
+      tracer->complete(telemetry::track::kSteps,
+                       e.compiled.steps[sp.step].label.c_str(), "step",
+                       step_start, accelerator_.trace_time(),
+                       {{"passes", sp.passes},
+                        {"warm", warm},
+                        {"rows", x.rows() * sp.rows_per_sample}});
+    }
     out.latency += cost.latency;
     out.busy += cost.busy;
     out.passes += sp.passes;
     if (warm) out.warm_passes += sp.passes;
   }
+  if (telemetry::MetricsRegistry* metrics = accelerator_.metrics()) {
+    metrics->counter(warm ? "serve_warm_batches_total"
+                          : "serve_cold_batches_total")
+        .inc();
+  }
   resident_ = fits_resident(name) ? name : std::string();
   return out;
+}
+
+std::string ModelRegistry::schedule_dump(const std::string& name) const {
+  const core::TensorCore& probe = accelerator_.core(0);
+  return entry(name).compiled.schedule_dump(
+      probe.rows(), probe.cols(), backend_.options().differential_weights);
 }
 
 Matrix ModelRegistry::reference_batch(const std::string& name,

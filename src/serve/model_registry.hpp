@@ -57,6 +57,11 @@ class ModelRegistry {
   /// Compiled schedule of a registered model.
   const graph::CompiledGraph& compiled(const std::string& name) const;
 
+  /// Printable per-step pass schedule of a registered model for the
+  /// fleet's core geometry (graph::CompiledGraph::schedule_dump) — what
+  /// benches print alongside a PTC_TRACE capture.
+  std::string schedule_dump(const std::string& name) const;
+
   /// Input row width the model expects (flattened input shape).
   std::size_t input_width(const std::string& name) const;
 

@@ -8,24 +8,60 @@
 #include "nn/layers.hpp"
 
 namespace ptc::serve {
+namespace {
+
+/// Latency histograms cover 1 ns .. 10 ks of modeled time at ~7.5% bucket
+/// width — generous on both ends for any policy sweep the benches run.
+telemetry::HistogramOptions latency_histogram_options() {
+  telemetry::HistogramOptions options;
+  options.min = 1e-9;
+  options.max = 1e4;
+  options.buckets_per_decade = 32;
+  return options;
+}
+
+}  // namespace
 
 Server::Server(ModelRegistry& registry)
     : accelerator_(registry.accelerator()), registry_(registry) {}
 
+void Server::set_tracer(telemetry::Tracer* tracer) {
+  tracer_ = tracer;
+  accelerator_.set_tracer(tracer);
+  if (tracer_ == nullptr) return;
+  tracer_->set_track_name(telemetry::track::kServe, "serving");
+  tracer_->set_track_name(telemetry::track::kSteps, "graph steps");
+  tracer_->set_track_name(telemetry::track::kQueue, "queue");
+}
+
+void Server::set_metrics(telemetry::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  accelerator_.set_metrics(metrics);
+}
+
 ServeReport Server::run(const std::vector<Request>& requests,
-                        const BatchPolicy& policy) {
+                        const BatchPolicy& policy, const RunOptions& options) {
   for (std::size_t i = 0; i + 1 < requests.size(); ++i) {
     expects(requests[i].arrival <= requests[i + 1].arrival,
             "requests must be sorted by arrival time");
   }
   registry_.reset_residency();
   accelerator_.reset_drift();
+  accelerator_.set_trace_time(0.0);
   const double energy_before = accelerator_.fleet_ledger().total_energy();
 
   DynamicBatcher batcher(policy);
   ServeReport report;
   report.cores = accelerator_.core_count();
-  report.requests.reserve(requests.size());
+  if (options.keep_records) report.requests.reserve(requests.size());
+
+  // O(buckets) per-run latency aggregation (satellite of the telemetry
+  // subsystem): the report summaries come from these, not from the record
+  // vectors, so keep_records = false loses nothing but the raw traces.
+  const telemetry::HistogramOptions hopts = latency_histogram_options();
+  telemetry::Histogram wait_hist(hopts);
+  telemetry::Histogram service_hist(hopts);
+  telemetry::Histogram total_hist(hopts);
 
   std::size_t next = 0;
   double fleet_free = 0.0;
@@ -40,9 +76,30 @@ ServeReport Server::run(const std::vector<Request>& requests,
   // shorter than the recalibration downtime still makes forward progress.
   bool recalibrated_since_dispatch = false;
 
+  // Request lifecycle spans are async events keyed by request id: queued
+  // lifetimes overlap arbitrarily, which no single track could hold.
+  const auto admit = [&](const Request& request) {
+    if (tracer_ != nullptr) {
+      tracer_->async_begin("request", "request", request.id, request.arrival,
+                           {{"tenant", request.tenant.c_str()},
+                            {"model", request.model.c_str()}});
+    }
+    batcher.enqueue(request);
+    if (tracer_ != nullptr) {
+      tracer_->counter(telemetry::track::kQueue, "queue_depth",
+                       request.arrival,
+                       static_cast<double>(batcher.pending()));
+    }
+    if (metrics_ != nullptr) {
+      metrics_->counter("serve_requests_total").inc();
+      metrics_->gauge("serve_queue_depth").set(
+          static_cast<double>(batcher.pending()));
+    }
+  };
+
   while (next < requests.size() || batcher.has_pending()) {
     if (!batcher.has_pending()) {
-      batcher.enqueue(requests[next++]);
+      admit(requests[next++]);
       continue;
     }
 
@@ -52,7 +109,7 @@ ServeReport Server::run(const std::vector<Request>& requests,
       // This arrival lands before (or exactly when) the next batch would
       // launch: admit it first — it may fill the batch, or open one that
       // closes sooner.
-      batcher.enqueue(requests[next++]);
+      admit(requests[next++]);
       continue;
     }
     bool drain = false;
@@ -75,12 +132,25 @@ ServeReport Server::run(const std::vector<Request>& requests,
           policy.drift_threshold > 0.0 &&
           accelerator_.max_abs_detuning() > policy.drift_threshold;
       if (periodic_due || drift_due) {
+        // Pin the modeled-time cursor so the downtime spans sit exactly in
+        // the window the event loop charges for them.
+        accelerator_.set_trace_time(dispatch_at);
         const runtime::BatchCost downtime = accelerator_.recalibrate();
         ++report.recalibrations;
         report.recalibration_time += downtime.latency;
         last_recalibration = dispatch_at;
         recalibrated_since_dispatch = true;
         fleet_free = dispatch_at + downtime.latency;
+        if (tracer_ != nullptr) {
+          tracer_->complete(telemetry::track::kServe, "recalibrate", "serve",
+                            dispatch_at, fleet_free,
+                            {{"downtime_s", downtime.latency}});
+        }
+        if (metrics_ != nullptr) {
+          metrics_->counter("serve_recalibrations_total").inc();
+          metrics_->counter("serve_recalibration_seconds_total")
+              .inc(downtime.latency);
+        }
         // Re-enter the loop: arrivals during the re-lock join the queue
         // and the dispatch instant moves past the downtime.
         continue;
@@ -90,6 +160,10 @@ ServeReport Server::run(const std::vector<Request>& requests,
     std::vector<Request> batch =
         batcher.pop_ready(dispatch_at, registry_.resident_model(), drain);
     expects(!batch.empty(), "a ready batch must be non-empty");
+    if (tracer_ != nullptr) {
+      tracer_->counter(telemetry::track::kQueue, "queue_depth", dispatch_at,
+                       static_cast<double>(batcher.pending()));
+    }
 
     Matrix x(batch.size(), batch.front().input.size());
     for (std::size_t r = 0; r < batch.size(); ++r) {
@@ -100,6 +174,10 @@ ServeReport Server::run(const std::vector<Request>& requests,
       }
     }
 
+    // Pin the hardware clock to the dispatch instant: the per-core pass
+    // spans and per-step spans run_batch emits land inside this batch's
+    // [dispatch, completion] window.
+    accelerator_.set_trace_time(dispatch_at);
     const BatchDispatch result =
         registry_.run_batch(batch.front().model, x);
     const double completion = dispatch_at + result.latency;
@@ -113,7 +191,7 @@ ServeReport Server::run(const std::vector<Request>& requests,
     }
 
     BatchRecord batch_record;
-    batch_record.id = report.batches.size();
+    batch_record.id = report.dispatched_batches;
     batch_record.model = batch.front().model;
     batch_record.size = batch.size();
     batch_record.passes = result.passes;
@@ -127,24 +205,62 @@ ServeReport Server::run(const std::vector<Request>& requests,
         std::max(report.max_abs_detuning, batch_record.detuning);
     recalibrated_since_dispatch = false;
 
-    for (std::size_t r = 0; r < batch.size(); ++r) {
-      RequestRecord record;
-      record.id = batch[r].id;
-      record.tenant = std::move(batch[r].tenant);
-      record.model = std::move(batch[r].model);
-      record.batch = batch_record.id;
-      record.predicted = predicted[r];
-      record.matches_reference =
-          !report.accuracy_scored || predicted[r] == reference[r];
-      if (report.accuracy_scored && record.matches_reference) {
-        ++report.reference_matches;
-      }
-      record.arrival = batch[r].arrival;
-      record.dispatch = dispatch_at;
-      record.completion = completion;
-      report.requests.push_back(std::move(record));
+    if (tracer_ != nullptr) {
+      tracer_->complete(
+          telemetry::track::kServe, "batch", "batch", dispatch_at, completion,
+          {{"id", batch_record.id},
+           {"model", batch_record.model.c_str()},
+           {"size", batch_record.size},
+           {"passes", batch_record.passes},
+           {"warm_passes", batch_record.warm_passes},
+           {"detuning_kelvin", batch_record.detuning},
+           {"epoch", batch_record.epoch}});
     }
-    report.batches.push_back(std::move(batch_record));
+    if (metrics_ != nullptr) {
+      metrics_->counter("serve_batches_total").inc();
+      metrics_->histogram("serve_batch_size", "requests per dispatched batch")
+          .observe(static_cast<double>(batch.size()));
+    }
+
+    for (std::size_t r = 0; r < batch.size(); ++r) {
+      const double wait = dispatch_at - batch[r].arrival;
+      const double service = result.latency;
+      const double total = completion - batch[r].arrival;
+      wait_hist.observe(wait);
+      service_hist.observe(service);
+      total_hist.observe(total);
+      if (metrics_ != nullptr) {
+        metrics_
+            ->histogram("serve_queue_wait_seconds",
+                        "arrival -> dispatch latency [s]", hopts)
+            .observe(wait);
+        metrics_
+            ->histogram("serve_total_seconds",
+                        "arrival -> completion latency [s]", hopts)
+            .observe(total);
+      }
+      const bool matches = !report.accuracy_scored || predicted[r] == reference[r];
+      if (report.accuracy_scored && matches) ++report.reference_matches;
+      if (tracer_ != nullptr) {
+        tracer_->async_end("request", "request", batch[r].id, completion);
+      }
+      if (options.keep_records) {
+        RequestRecord record;
+        record.id = batch[r].id;
+        record.tenant = std::move(batch[r].tenant);
+        record.model = std::move(batch[r].model);
+        record.batch = batch_record.id;
+        record.predicted = predicted[r];
+        record.matches_reference = matches;
+        record.arrival = batch[r].arrival;
+        record.dispatch = dispatch_at;
+        record.completion = completion;
+        report.requests.push_back(std::move(record));
+      }
+    }
+    report.completed += batch.size();
+    ++report.dispatched_batches;
+    if (options.keep_records) report.batches.push_back(std::move(batch_record));
     report.passes += result.passes;
     report.warm_passes += result.warm_passes;
     report.busy += result.busy;
@@ -155,18 +271,9 @@ ServeReport Server::run(const std::vector<Request>& requests,
   report.energy =
       accelerator_.fleet_ledger().total_energy() - energy_before;
 
-  std::vector<double> waits, services, totals;
-  waits.reserve(report.requests.size());
-  services.reserve(report.requests.size());
-  totals.reserve(report.requests.size());
-  for (const RequestRecord& record : report.requests) {
-    waits.push_back(record.queue_wait());
-    services.push_back(record.service());
-    totals.push_back(record.total());
-  }
-  report.queue_wait = LatencyStats::from(waits);
-  report.service = LatencyStats::from(services);
-  report.total = LatencyStats::from(totals);
+  report.queue_wait = LatencyStats::from_histogram(wait_hist);
+  report.service = LatencyStats::from_histogram(service_hist);
+  report.total = LatencyStats::from_histogram(total_hist);
   return report;
 }
 

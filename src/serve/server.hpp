@@ -8,6 +8,8 @@
 #include "serve/latency_stats.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/request.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 /// Discrete-event serving simulator: open-loop arrivals -> RequestQueue ->
 /// DynamicBatcher -> accelerator fleet, all on modeled hardware time.  The
@@ -23,10 +25,35 @@
 /// from host wall time.
 namespace ptc::serve {
 
+/// Per-run knobs orthogonal to the batching policy.
+struct RunOptions {
+  /// Keep the per-request / per-batch vectors on the report.  Disabling
+  /// them makes a run's memory O(histogram buckets) regardless of request
+  /// count (1M+ requests) — the latency summaries, counters, and ratios
+  /// are unaffected; only ServeReport::requests / batches / tenant_total
+  /// are empty.
+  bool keep_records = true;
+};
+
 class Server {
  public:
   /// Serves the registry's models on the registry's accelerator fleet.
   explicit Server(ModelRegistry& registry);
+
+  /// Attaches a span tracer for the run's full lifecycle — request async
+  /// spans (arrive -> complete), batch dispatch windows, per-core tile
+  /// passes/reloads, per-step execution, recalibration downtime, and
+  /// queue-depth counters — all on modeled hardware time.  Fans out to the
+  /// accelerator; nullptr detaches.
+  void set_tracer(telemetry::Tracer* tracer);
+  telemetry::Tracer* tracer() const { return tracer_; }
+
+  /// Attaches a metrics registry: serving counters (requests, batches,
+  /// warm/cold splits, recalibrations), cumulative latency histograms, and
+  /// the fleet-side tallies (passes, reloads, ADC samples, plan-cache
+  /// hits).  Fans out to the accelerator; nullptr detaches.
+  void set_metrics(telemetry::MetricsRegistry* metrics);
+  telemetry::MetricsRegistry* metrics() const { return metrics_; }
 
   /// Serves `requests` (sorted by arrival — LoadGenerator output
   /// qualifies) under `policy` and returns the full report.  Arrivals at
@@ -41,12 +68,18 @@ class Server {
   /// free time forward, so arrivals during a re-lock simply queue.  Every
   /// batch is also scored against the float-reference logits, giving the
   /// report its accuracy / drift / recalibration accounting.
+  ///
+  /// Latency summaries (queue_wait / service / total) are aggregated in
+  /// O(buckets) log-scale histograms: count, mean, and max are exact;
+  /// percentiles are within one bucket (~7.5%) of the exact sample.
   ServeReport run(const std::vector<Request>& requests,
-                  const BatchPolicy& policy);
+                  const BatchPolicy& policy, const RunOptions& options = {});
 
  private:
   runtime::Accelerator& accelerator_;
   ModelRegistry& registry_;
+  telemetry::Tracer* tracer_ = nullptr;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace ptc::serve

@@ -1,0 +1,200 @@
+#include "telemetry/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/expects.hpp"
+#include "common/json.hpp"
+
+namespace ptc::telemetry {
+
+Histogram::Histogram(const HistogramOptions& options) : options_(options) {
+  expects(options_.min > 0.0, "histogram min must be positive");
+  expects(options_.max > options_.min, "histogram max must exceed min");
+  expects(options_.buckets_per_decade >= 1,
+          "histogram needs at least one bucket per decade");
+  const double decades = std::log10(options_.max / options_.min);
+  const std::size_t n = static_cast<std::size_t>(std::ceil(
+      decades * static_cast<double>(options_.buckets_per_decade) - 1e-9));
+  buckets_.assign(n, 0);
+}
+
+double Histogram::bucket_upper_edge(std::size_t i) const {
+  return options_.min *
+         std::pow(10.0, static_cast<double>(i + 1) /
+                            static_cast<double>(options_.buckets_per_decade));
+}
+
+double Histogram::bucket_width_ratio() const {
+  return std::pow(10.0,
+                  1.0 / static_cast<double>(options_.buckets_per_decade));
+}
+
+void Histogram::observe(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+
+  if (v < options_.min) {
+    ++underflow_;
+    return;
+  }
+  // Log-position, then a fix-up pass against the exact edge formula so
+  // values landing on (or within one ulp of) a bucket boundary bin
+  // consistently: bucket i covers [edge(i-1), edge(i)).
+  double idx = std::floor(std::log10(v / options_.min) *
+                          static_cast<double>(options_.buckets_per_decade));
+  if (idx < 0.0) idx = 0.0;
+  std::size_t i = static_cast<std::size_t>(idx);
+  if (i >= buckets_.size()) i = buckets_.size() - 1;
+  while (i > 0 && v < bucket_upper_edge(i - 1)) --i;
+  while (i < buckets_.size() && v >= bucket_upper_edge(i)) ++i;
+  if (i >= buckets_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++buckets_[i];
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  expects(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_) - 1e-9));
+
+  const auto clamp = [this](double v) {
+    if (v < min_) return min_;
+    if (v > max_) return max_;
+    return v;
+  };
+
+  std::uint64_t cumulative = underflow_;
+  if (rank <= cumulative) return clamp(options_.min);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (rank <= cumulative) return clamp(bucket_upper_edge(i));
+  }
+  return max_;  // overflow bucket: the exact max is the best statement
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  Entry& entry = entries_[name];
+  if (entry.counter == nullptr) {
+    expects(entry.gauge == nullptr && entry.histogram == nullptr,
+            "metric name already registered with a different kind");
+    entry.counter = std::make_unique<Counter>();
+    if (!help.empty()) entry.help = help;
+  }
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  Entry& entry = entries_[name];
+  if (entry.gauge == nullptr) {
+    expects(entry.counter == nullptr && entry.histogram == nullptr,
+            "metric name already registered with a different kind");
+    entry.gauge = std::make_unique<Gauge>();
+    if (!help.empty()) entry.help = help;
+  }
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      const HistogramOptions& options) {
+  Entry& entry = entries_[name];
+  if (entry.histogram == nullptr) {
+    expects(entry.counter == nullptr && entry.gauge == nullptr,
+            "metric name already registered with a different kind");
+    entry.histogram = std::make_unique<Histogram>(options);
+    if (!help.empty()) entry.help = help;
+  }
+  return *entry.histogram;
+}
+
+bool MetricsRegistry::contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::ostringstream out;
+  for (const auto& [name, entry] : entries_) {
+    if (!entry.help.empty()) {
+      out << "# HELP " << name << " " << entry.help << "\n";
+    }
+    if (entry.counter != nullptr) {
+      out << "# TYPE " << name << " counter\n";
+      out << name << " " << json::format_number(entry.counter->value())
+          << "\n";
+    } else if (entry.gauge != nullptr) {
+      out << "# TYPE " << name << " gauge\n";
+      out << name << " " << json::format_number(entry.gauge->value()) << "\n";
+    } else if (entry.histogram != nullptr) {
+      const Histogram& h = *entry.histogram;
+      out << "# TYPE " << name << " histogram\n";
+      // Cumulative buckets, empty ones elided to keep the exposition small
+      // (the +Inf series always carries the total).
+      std::uint64_t cumulative = h.underflow();
+      if (cumulative > 0) {
+        out << name << "_bucket{le=\""
+            << json::format_number(h.options().min) << "\"} " << cumulative
+            << "\n";
+      }
+      for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+        if (h.bucket(i) == 0) continue;
+        cumulative += h.bucket(i);
+        out << name << "_bucket{le=\""
+            << json::format_number(h.bucket_upper_edge(i)) << "\"} "
+            << cumulative << "\n";
+      }
+      out << name << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+      out << name << "_sum " << json::format_number(h.sum()) << "\n";
+      out << name << "_count " << h.count() << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream counters, gauges, histograms;
+  bool first_c = true, first_g = true, first_h = true;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.counter != nullptr) {
+      counters << (first_c ? "" : ", ") << json::quote(name)
+               << ": {\"value\": "
+               << json::format_number(entry.counter->value()) << "}";
+      first_c = false;
+    } else if (entry.gauge != nullptr) {
+      gauges << (first_g ? "" : ", ") << json::quote(name) << ": {\"value\": "
+             << json::format_number(entry.gauge->value()) << ", \"max\": "
+             << json::format_number(entry.gauge->max()) << "}";
+      first_g = false;
+    } else if (entry.histogram != nullptr) {
+      const Histogram& h = *entry.histogram;
+      histograms << (first_h ? "" : ", ") << json::quote(name) << ": {"
+                 << "\"count\": " << h.count()
+                 << ", \"sum\": " << json::format_number(h.sum())
+                 << ", \"min\": " << json::format_number(h.min_value())
+                 << ", \"max\": " << json::format_number(h.max_value())
+                 << ", \"p50\": " << json::format_number(h.percentile(50.0))
+                 << ", \"p95\": " << json::format_number(h.percentile(95.0))
+                 << ", \"p99\": " << json::format_number(h.percentile(99.0))
+                 << "}";
+      first_h = false;
+    }
+  }
+  std::ostringstream out;
+  out << "{\n  \"counters\": {" << counters.str() << "},\n  \"gauges\": {"
+      << gauges.str() << "},\n  \"histograms\": {" << histograms.str()
+      << "}\n}\n";
+  return out.str();
+}
+
+}  // namespace ptc::telemetry

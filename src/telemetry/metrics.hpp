@@ -1,0 +1,138 @@
+#ifndef PTC_TELEMETRY_METRICS_HPP
+#define PTC_TELEMETRY_METRICS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+/// Uniform metrics spine for the simulator: counters, gauges, and
+/// fixed-bucket log-scale histograms behind one registry with
+/// Prometheus-style text exposition and JSON export.  This replaces the
+/// scattered tallies (AcceleratorStats fields, ad-hoc bench counters) with
+/// one namespace any layer can publish into.
+///
+/// Determinism contract: metrics are only ever mutated from the simulation's
+/// event-loop / calling thread (never from pool workers), values are modeled
+/// quantities (hardware time, counts), and exposition iterates registry maps
+/// in sorted-name order — so the exported text is bit-stable across runs and
+/// across host thread counts.
+namespace ptc::telemetry {
+
+/// Monotonically increasing tally.
+class Counter {
+ public:
+  void inc(double delta = 1.0) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Last-write-wins instantaneous value (plus the running max, which serving
+/// summaries like "worst detuning seen" want for free).
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  double value() const { return value_; }
+  double max() const { return max_; }
+
+ private:
+  double value_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bucket log-scale histogram geometry: `buckets_per_decade` equal
+/// log-width buckets per power of ten spanning [min, max), plus an
+/// underflow bucket (v < min, where all zero samples land) and an overflow
+/// bucket (v >= max).
+struct HistogramOptions {
+  double min = 1e-10;  ///< lower edge of the first finite bucket
+  double max = 1.0;    ///< upper edge of the last finite bucket
+  std::size_t buckets_per_decade = 32;  ///< ~7.5% bucket width
+};
+
+/// Log-scale histogram with O(buckets) memory regardless of sample count.
+/// Percentiles are nearest-rank over bucket counts and return the covering
+/// bucket's upper edge clamped to the exact observed [min, max] — always
+/// within one bucket of the exact nearest-rank sample.  count/sum/min/max
+/// are exact.
+class Histogram {
+ public:
+  explicit Histogram(const HistogramOptions& options = {});
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+  /// Exact smallest / largest observed value (0 when empty).
+  double min_value() const { return count_ > 0 ? min_ : 0.0; }
+  double max_value() const { return count_ > 0 ? max_ : 0.0; }
+
+  /// Nearest-rank percentile (p in (0, 100]); 0 when empty.
+  double percentile(double p) const;
+
+  const HistogramOptions& options() const { return options_; }
+  /// Finite buckets only (underflow/overflow excluded).
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  /// Upper edge of finite bucket i: min * 10^((i+1)/buckets_per_decade).
+  double bucket_upper_edge(std::size_t i) const;
+
+  /// Largest ratio between a bucket's upper and lower edge — the worst-case
+  /// multiplicative error of percentile() vs the exact nearest-rank sample.
+  double bucket_width_ratio() const;
+
+ private:
+  HistogramOptions options_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named metrics store.  Accessors create on first use and return stable
+/// references (instruments never move once created); names should follow
+/// Prometheus conventions (snake_case, `_total` suffix on counters).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, const std::string& help = "",
+                       const HistogramOptions& options = {});
+
+  /// True when `name` exists as any instrument kind.
+  bool contains(const std::string& name) const;
+
+  /// Prometheus text exposition format (sorted by name): counters and
+  /// gauges as single samples, histograms as cumulative `_bucket{le=...}`
+  /// series plus `_sum` and `_count`.
+  std::string prometheus_text() const;
+
+  /// JSON export of the same data (one object per instrument kind).
+  std::string to_json() const;
+
+ private:
+  struct Entry {
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace ptc::telemetry
+
+#endif  // PTC_TELEMETRY_METRICS_HPP

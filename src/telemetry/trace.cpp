@@ -1,0 +1,321 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/expects.hpp"
+#include "common/json.hpp"
+
+namespace ptc::telemetry {
+namespace {
+
+/// Modeled seconds -> Chrome trace microseconds.
+double to_us(double seconds) { return seconds * 1e6; }
+
+std::string render_arg(const Arg& arg) {
+  switch (arg.kind) {
+    case Arg::Kind::kString:
+      return json::quote(arg.str != nullptr ? arg.str : "");
+    case Arg::Kind::kNumber:
+      return json::format_number(arg.num);
+    case Arg::Kind::kBool:
+      return arg.num != 0.0 ? "true" : "false";
+  }
+  return "null";
+}
+
+}  // namespace
+
+void Tracer::push(TraceEvent event, std::initializer_list<Arg> args) {
+  event.args.reserve(args.size());
+  for (const Arg& arg : args) {
+    event.args.emplace_back(arg.key, render_arg(arg));
+  }
+  events_.push_back(std::move(event));
+}
+
+void Tracer::complete(int tid, const char* name, const char* category,
+                      double t0, double t1, std::initializer_list<Arg> args) {
+  expects(t1 >= t0, "span must end at or after its start");
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kComplete;
+  event.name = name;
+  event.category = category;
+  event.tid = tid;
+  event.ts = t0;
+  event.dur = t1 - t0;
+  push(std::move(event), args);
+}
+
+void Tracer::async_begin(const char* name, const char* category,
+                         std::uint64_t id, double ts,
+                         std::initializer_list<Arg> args) {
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kAsyncBegin;
+  event.name = name;
+  event.category = category;
+  event.id = id;
+  event.ts = ts;
+  push(std::move(event), args);
+}
+
+void Tracer::async_end(const char* name, const char* category,
+                       std::uint64_t id, double ts) {
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kAsyncEnd;
+  event.name = name;
+  event.category = category;
+  event.id = id;
+  event.ts = ts;
+  push(std::move(event), {});
+}
+
+void Tracer::counter(int tid, const char* name, double ts, double value) {
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kCounter;
+  event.name = name;
+  event.tid = tid;
+  event.ts = ts;
+  event.value = value;
+  push(std::move(event), {});
+}
+
+void Tracer::instant(int tid, const char* name, const char* category,
+                     double ts, std::initializer_list<Arg> args) {
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kInstant;
+  event.name = name;
+  event.category = category;
+  event.tid = tid;
+  event.ts = ts;
+  push(std::move(event), args);
+}
+
+void Tracer::set_track_name(int tid, const std::string& name) {
+  track_names_[tid] = name;
+}
+
+std::size_t Tracer::count(TraceEvent::Phase phase,
+                          const std::string& category) const {
+  std::size_t n = 0;
+  for (const TraceEvent& event : events_) {
+    if (event.phase == phase &&
+        (category.empty() || event.category == category)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void Tracer::write_chrome_json(std::ostream& out) const {
+  out << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out << ",\n";
+    first = false;
+  };
+
+  // Metadata first: name the process and every named track.
+  comma();
+  out << " {\"ph\": \"M\", \"name\": \"process_name\", \"pid\": "
+      << track::kPid << ", \"args\": {\"name\": \"ptc\"}}";
+  for (const auto& [tid, name] : track_names_) {
+    comma();
+    out << " {\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": "
+        << track::kPid << ", \"tid\": " << tid
+        << ", \"args\": {\"name\": " << json::quote(name) << "}}";
+  }
+
+  for (const TraceEvent& event : events_) {
+    comma();
+    out << " {\"ph\": \"";
+    switch (event.phase) {
+      case TraceEvent::Phase::kComplete: out << "X"; break;
+      case TraceEvent::Phase::kAsyncBegin: out << "b"; break;
+      case TraceEvent::Phase::kAsyncEnd: out << "e"; break;
+      case TraceEvent::Phase::kCounter: out << "C"; break;
+      case TraceEvent::Phase::kInstant: out << "i"; break;
+    }
+    out << "\", \"name\": " << json::quote(event.name);
+    if (!event.category.empty()) {
+      out << ", \"cat\": " << json::quote(event.category);
+    }
+    out << ", \"pid\": " << track::kPid;
+    const bool async = event.phase == TraceEvent::Phase::kAsyncBegin ||
+                       event.phase == TraceEvent::Phase::kAsyncEnd;
+    if (async) {
+      out << ", \"id\": " << json::quote(std::to_string(event.id));
+    } else {
+      out << ", \"tid\": " << event.tid;
+    }
+    out << ", \"ts\": " << json::format_number(to_us(event.ts));
+    if (event.phase == TraceEvent::Phase::kComplete) {
+      out << ", \"dur\": " << json::format_number(to_us(event.dur));
+    }
+    if (event.phase == TraceEvent::Phase::kInstant) {
+      out << ", \"s\": \"t\"";
+    }
+    if (event.phase == TraceEvent::Phase::kCounter) {
+      out << ", \"args\": {\"value\": " << json::format_number(event.value)
+          << "}";
+    } else if (!event.args.empty()) {
+      out << ", \"args\": {";
+      for (std::size_t i = 0; i < event.args.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << json::quote(event.args[i].first) << ": "
+            << event.args[i].second;
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "\n]}\n";
+}
+
+std::string Tracer::chrome_json() const {
+  std::ostringstream out;
+  write_chrome_json(out);
+  return out.str();
+}
+
+void Tracer::write_chrome_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("telemetry: cannot open trace file " + path);
+  }
+  write_chrome_json(out);
+  if (!out.good()) {
+    throw std::runtime_error("telemetry: failed writing trace file " + path);
+  }
+}
+
+const char* trace_path_from_env() { return std::getenv("PTC_TRACE"); }
+
+namespace {
+
+struct Span {
+  double start = 0.0;
+  double end = 0.0;
+  std::string name;
+};
+
+}  // namespace
+
+std::vector<std::string> lint_chrome_trace(const std::string& json_text) {
+  std::vector<std::string> problems;
+  json::Value doc = json::Value::null();
+  try {
+    doc = json::parse(json_text);
+  } catch (const std::invalid_argument& e) {
+    problems.push_back(std::string("document does not parse: ") + e.what());
+    return problems;
+  }
+  if (!doc.is_object() || !doc.contains("traceEvents") ||
+      !doc.at("traceEvents").is_array()) {
+    problems.push_back("document has no traceEvents array");
+    return problems;
+  }
+
+  // Collect complete spans per (pid, tid) and async begin/end tallies per
+  // (category, id).
+  std::map<std::pair<double, double>, std::vector<Span>> tracks;
+  std::map<std::pair<std::string, std::string>, std::pair<int, int>> async_events;
+  std::size_t index = 0;
+  for (const json::Value& event : doc.at("traceEvents").as_array()) {
+    const std::string where = "event " + std::to_string(index++);
+    if (!event.is_object() || !event.contains("ph") ||
+        !event.at("ph").is_string()) {
+      problems.push_back(where + ": missing ph");
+      continue;
+    }
+    const std::string& ph = event.at("ph").as_string();
+    if (ph == "M") continue;
+    if (!event.contains("name") || !event.at("name").is_string()) {
+      problems.push_back(where + ": missing name");
+      continue;
+    }
+    if (!event.contains("ts") || !event.at("ts").is_number()) {
+      problems.push_back(where + ": missing ts");
+      continue;
+    }
+    if (ph == "X") {
+      if (!event.contains("dur") || !event.at("dur").is_number()) {
+        problems.push_back(where + ": complete event missing dur");
+        continue;
+      }
+      if (event.at("dur").as_number() < 0.0) {
+        problems.push_back(where + ": negative dur");
+        continue;
+      }
+      const double pid =
+          event.contains("pid") ? event.at("pid").as_number() : 0.0;
+      const double tid =
+          event.contains("tid") ? event.at("tid").as_number() : 0.0;
+      Span span;
+      span.start = event.at("ts").as_number();
+      span.end = span.start + event.at("dur").as_number();
+      span.name = event.at("name").as_string();
+      tracks[{pid, tid}].push_back(std::move(span));
+    } else if (ph == "b" || ph == "e") {
+      if (!event.contains("id")) {
+        problems.push_back(where + ": async event missing id");
+        continue;
+      }
+      const std::string id = event.at("id").is_string()
+                                 ? event.at("id").as_string()
+                                 : json::format_number(event.at("id").as_number());
+      const std::string cat =
+          event.contains("cat") ? event.at("cat").as_string() : "";
+      auto& tally = async_events[{cat, id}];
+      if (ph == "b") ++tally.first;
+      else ++tally.second;
+    }
+  }
+
+  // Complete spans on one track must nest properly: sweep in (start, -end)
+  // order with a stack of enclosing spans; every span must fit entirely
+  // within the innermost still-open enclosure.
+  for (auto& [key, spans] : tracks) {
+    std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+      if (a.start != b.start) return a.start < b.start;
+      return a.end > b.end;
+    });
+    std::vector<Span> stack;
+    for (const Span& span : spans) {
+      // Spans that share a boundary (back-to-back passes) serialize through
+      // ts/dur microsecond doubles, so "touching" is only exact to float
+      // rounding: allow a relative slack far below any real overlap.
+      const double slack =
+          1e-9 * std::max(std::abs(span.start), std::abs(span.end));
+      while (!stack.empty() && stack.back().end <= span.start + slack) {
+        stack.pop_back();
+      }
+      if (!stack.empty() && span.end > stack.back().end + slack) {
+        std::ostringstream msg;
+        msg << "track (" << key.first << ", " << key.second << "): span \""
+            << span.name << "\" [" << span.start << ", " << span.end
+            << "] overlaps \"" << stack.back().name << "\" ["
+            << stack.back().start << ", " << stack.back().end
+            << "] without nesting";
+        problems.push_back(msg.str());
+        continue;
+      }
+      stack.push_back(span);
+    }
+  }
+
+  for (const auto& [key, tally] : async_events) {
+    if (tally.first != tally.second) {
+      problems.push_back("async (" + key.first + ", id " + key.second +
+                         "): " + std::to_string(tally.first) + " begin vs " +
+                         std::to_string(tally.second) + " end events");
+    }
+  }
+  return problems;
+}
+
+}  // namespace ptc::telemetry

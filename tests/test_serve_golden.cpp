@@ -51,11 +51,11 @@ constexpr GoldenValue kGolden[] = {
     {"busy", 1.7560000000000001e-07, false},
     {"warm_fraction", 0.058823529411764705, false},
     {"mean_batch", 3.4285714285714284, false},
-    {"total_p50", 1.8963040307513216e-08, false},
-    {"total_p95", 3.0549999999999992e-08, false},
+    {"total_p50", 1.9109529749704404e-08, false},
+    {"total_p95", 3.0800000000000011e-08, false},
     {"total_p99", 3.0800000000000011e-08, false},
     {"queue_wait_p99", 2.4999999999999999e-08, false},
-    {"service_p99", 6.8000000000000013e-09, false},
+    {"service_p99", 6.7999999999999997e-09, false},
     {"alpha_p50", 1.1520241744525871e-08, false},
     {"alpha_p95", 2.867554243755994e-08, false},
     {"alpha_p99", 3.0799999999999998e-08, false},
