@@ -7,11 +7,14 @@
 //
 // Gating is read from the *baseline*: the committed trajectory owns the
 // bar, so a current run cannot loosen its own gates.  Informational
-// metrics print in the diff table but never gate.  See docs/telemetry.md
-// for the artifact schema and the baseline-update workflow.
+// metrics print in the diff table but never gate.  Every pair is compared
+// and every failure listed before the nonzero exit, so one CI run shows
+// the full regression surface.  See docs/telemetry.md for the artifact
+// schema and the baseline-update workflow.
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
 #include "telemetry/bench_report.hpp"
@@ -20,20 +23,42 @@ namespace {
 
 using namespace ptc;
 
+/// One regressed metric, kept for the end-of-run failure summary.
+struct Failure {
+  std::string pair;
+  telemetry::MetricComparison metric;
+};
+
+std::string tol_cell(const telemetry::MetricComparison& m) {
+  if (!m.gated) return "-";
+  return TablePrinter::num(100.0 * m.tolerance, 4) + " %";
+}
+
+std::string bound_cell(const telemetry::MetricComparison& m) {
+  if (!m.gated) return "-";
+  return TablePrinter::num(m.bound, 6);
+}
+
 bool compare_pair(const std::string& baseline_path,
-                  const std::string& current_path) {
+                  const std::string& current_path,
+                  std::vector<Failure>& failures) {
   const telemetry::BenchComparison comparison =
       telemetry::compare_bench_files(baseline_path, current_path);
+  const std::string pair = baseline_path + " vs " + current_path;
 
-  std::cout << baseline_path << " vs " << current_path << ":\n";
+  std::cout << pair << ":\n";
   for (const std::string& problem : comparison.problems) {
     std::cout << "  problem: " << problem << "\n";
   }
-  TablePrinter table({"metric", "baseline", "current", "ratio", "verdict"});
+  TablePrinter table(
+      {"metric", "baseline", "current", "ratio", "tolerance", "bound",
+       "verdict"});
   for (const telemetry::MetricComparison& m : comparison.metrics) {
     table.add_row({m.name, TablePrinter::num(m.baseline, 6),
                    TablePrinter::num(m.current, 6),
-                   TablePrinter::num(m.ratio, 4), m.note});
+                   TablePrinter::num(m.ratio, 4), tol_cell(m), bound_cell(m),
+                   m.note});
+    if (m.regressed) failures.push_back({pair, m});
   }
   table.print(std::cout);
   std::cout << (comparison.pass ? "PASS" : "FAIL") << "\n\n";
@@ -49,12 +74,22 @@ int main(int argc, char** argv) {
     return 2;
   }
   bool pass = true;
+  std::vector<Failure> failures;
   for (int i = 1; i + 1 < argc; i += 2) {
-    pass = compare_pair(argv[i], argv[i + 1]) && pass;
+    pass = compare_pair(argv[i], argv[i + 1], failures) && pass;
   }
-  std::cout << (pass ? "all benches within tolerance of their baselines"
-                     : "regression detected: some gated metric exceeded its "
-                       "baseline tolerance")
-            << "\n";
-  return pass ? 0 : 1;
+  if (pass) {
+    std::cout << "all benches within tolerance of their baselines\n";
+    return 0;
+  }
+  std::cout << "regression detected: " << failures.size()
+            << " gated metric(s) exceeded their baseline tolerance\n";
+  for (const Failure& failure : failures) {
+    std::cout << "  " << failure.pair << ": " << failure.metric.name
+              << " baseline " << TablePrinter::num(failure.metric.baseline, 6)
+              << " current " << TablePrinter::num(failure.metric.current, 6)
+              << " (allowed " << tol_cell(failure.metric) << ", bound "
+              << bound_cell(failure.metric) << ")\n";
+  }
+  return 1;
 }

@@ -13,6 +13,9 @@
 //
 // All times are modeled hardware time (ADC sample windows + pSRAM reload
 // slots on the critical-path core), so every number here is deterministic.
+//
+// Set PTC_TRACE=/path/to/trace.json to re-run the batch<=32 dynamic policy
+// with a span tracer attached and write the serving run as a Chrome trace.
 #include <iostream>
 #include <string>
 
@@ -25,6 +28,7 @@
 #include "serve/load_generator.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/server.hpp"
+#include "telemetry/trace.hpp"
 
 int main() {
   using namespace ptc;
@@ -102,5 +106,20 @@ int main() {
          "policy buys that throughput with queue-fill latency, while the "
          "max-wait bound caps the tail: the dynamic rows hold p99 within "
          "the wait budget and still close near-full batches at this rate\n";
+
+  const char* trace_path = telemetry::trace_path_from_env();
+  if (trace_path != nullptr) {
+    telemetry::Tracer tracer;
+    server.set_tracer(&tracer);
+    const LoadGenerator generator(
+        {{.name = "t", .model = "mlp", .rate = 300e6, .requests = 96}}, 42);
+    const ServeReport traced = server.run(
+        generator.generate(registry), {.max_batch = 32, .max_wait = 50e-9});
+    server.set_tracer(nullptr);
+    tracer.write_chrome_json_file(trace_path);
+    std::cout << "\nwrote Chrome trace (" << tracer.size() << " events, "
+              << traced.completed << " requests, batch<=32 wait 50 ns) to "
+              << trace_path << "\n";
+  }
   return 0;
 }

@@ -4,6 +4,9 @@
 // convolution on the photonic substrate (im2col lowered into tiled
 // matmuls), while the dense head is trained in float on the extracted
 // features, the standard split when the analog hardware serves inference.
+//
+// Set PTC_TRACE=/path/to/trace.json to capture the fleet's inference
+// passes (analog + quantized backends) as a Chrome trace.
 #include <iostream>
 
 #include "common/rng.hpp"
@@ -17,6 +20,7 @@
 #include "nn/mlp.hpp"
 #include "runtime/accelerator.hpp"
 #include "runtime/backend.hpp"
+#include "telemetry/trace.hpp"
 
 namespace {
 
@@ -101,6 +105,9 @@ int main() {
                                       analog.differential_weights);
 
   std::cout << "\nrunning inference on " << test.size() << " samples...\n\n";
+  telemetry::Tracer tracer;
+  const char* trace_path = telemetry::trace_path_from_env();
+  if (trace_path != nullptr) accelerator.set_tracer(&tracer);
   TablePrinter table({"backend", "weights", "readout", "accuracy"});
   table.add_row({"float reference", "fp64", "exact",
                  TablePrinter::num(100.0 * accuracy(compiled, reference, test),
@@ -129,5 +136,12 @@ int main() {
                    .rows_per_sample
             << " im2col rows per image through each kernel-tile residency — "
                "the reload amortization the 20 GHz weight streaming buys\n";
+  if (trace_path != nullptr) {
+    accelerator.set_tracer(nullptr);
+    tracer.write_chrome_json_file(trace_path);
+    std::cout << "\nwrote Chrome trace (" << tracer.size()
+              << " events, analog + quantized inference) to " << trace_path
+              << "\n";
+  }
   return 0;
 }

@@ -1,0 +1,76 @@
+#include "console/demo.hpp"
+
+#include "common/rng.hpp"
+#include "nn/mlp.hpp"
+#include "serve/batcher.hpp"
+#include "serve/load_generator.hpp"
+
+namespace ptc::console {
+namespace {
+
+/// 4 drifting, device-varied cores: small enough to run in milliseconds,
+/// varied enough that accuracy scoring, detuning queries, and the
+/// recalibration fleet row all have non-trivial answers.
+runtime::AcceleratorConfig demo_config(std::size_t threads) {
+  runtime::AcceleratorConfig config;
+  config.cores = 4;
+  config.threads = threads;
+  config.variation.seed = 7;
+  config.drift.sigma = 0.5;
+  config.drift.tau = 1e-6;
+  return config;
+}
+
+}  // namespace
+
+DemoScenario::DemoScenario(std::size_t threads)
+    : accelerator_(demo_config(threads)),
+      registry_(accelerator_),
+      server_(registry_) {
+  Rng rng(2025);
+  // "vision" streams more tiles than the fleet holds (always cold);
+  // "keyword" fits resident, so its back-to-back batches run warm — the
+  // cost asymmetry TEN:COST? exists to expose.
+  registry_.add("vision", nn::Mlp(32, 24, 10, rng));
+  registry_.add("keyword", nn::Mlp(16, 12, 4, rng));
+  server_.set_tracer(&tracer_);
+  server_.set_metrics(&metrics_);
+
+  serve::SloObjective latency;
+  latency.name = "p99-latency";
+  latency.kind = serve::SloObjective::Kind::kLatency;
+  latency.latency_target = 30e-9;
+  latency.objective = 0.99;
+  latency.short_window = 50e-9;
+  latency.long_window = 200e-9;
+  latency.burn_threshold = 1.0;
+  server_.add_slo(latency);
+
+  serve::SloObjective accuracy;
+  accuracy.name = "mobile-accuracy";
+  accuracy.tenant = "mobile";
+  accuracy.kind = serve::SloObjective::Kind::kErrorRate;
+  accuracy.objective = 0.9;
+  accuracy.short_window = 100e-9;
+  accuracy.long_window = 400e-9;
+  accuracy.burn_threshold = 1.0;
+  server_.add_slo(accuracy);
+}
+
+serve::ServeReport DemoScenario::run() {
+  const serve::LoadGenerator generator(
+      {{.name = "mobile", .model = "vision", .rate = 120e6, .requests = 24},
+       {.name = "embedded", .model = "keyword", .rate = 500e6, .requests = 36}},
+      7);
+  const serve::BatchPolicy policy{.max_batch = 8, .max_wait = 25e-9,
+                                  .recalibration_period = 60e-9};
+  return server_.run(generator.generate(registry_), policy);
+}
+
+Console DemoScenario::make_console() {
+  Console console(server_, registry_, accelerator_);
+  console.set_run_callback([this] { return run(); });
+  return console;
+}
+
+}  // namespace ptc::console

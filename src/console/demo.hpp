@@ -1,0 +1,53 @@
+#ifndef PTC_CONSOLE_DEMO_HPP
+#define PTC_CONSOLE_DEMO_HPP
+
+#include "console/console.hpp"
+#include "runtime/accelerator.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/server.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+/// Canned multi-tenant serving scenario for the operator console: one
+/// object owning the whole stack (fleet, registry, server, telemetry
+/// sinks) plus a Console wired to re-run it.  tools/ptc_console boots this
+/// when no scenario of its own is attached, and the console golden
+/// transcript test drives the exact same object — so the tool and the CI
+/// check can never drift apart.
+///
+/// Everything is seeded and runs on modeled time: the run report, metric
+/// values, burn rates, and alert instants are bit-identical on every host
+/// and at any thread count, which is what makes a scripted console session
+/// against it diffable as a golden transcript.
+namespace ptc::console {
+
+class DemoScenario {
+ public:
+  /// `threads` is the host thread-pool size (0 = auto) — it changes wall
+  /// time only, never a modeled value; the transcript test runs the same
+  /// script at 1/2/8 threads and asserts byte-identical output.
+  explicit DemoScenario(std::size_t threads = 0);
+
+  /// One deterministic serving run (same requests, same policy).
+  serve::ServeReport run();
+
+  /// A console attached to this scenario with the run callback installed.
+  Console make_console();
+
+  serve::Server& server() { return server_; }
+  serve::ModelRegistry& registry() { return registry_; }
+  runtime::Accelerator& accelerator() { return accelerator_; }
+  telemetry::Tracer& tracer() { return tracer_; }
+  telemetry::MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  runtime::Accelerator accelerator_;
+  serve::ModelRegistry registry_;
+  serve::Server server_;
+  telemetry::Tracer tracer_;
+  telemetry::MetricsRegistry metrics_;
+};
+
+}  // namespace ptc::console
+
+#endif  // PTC_CONSOLE_DEMO_HPP

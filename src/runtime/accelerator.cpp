@@ -83,6 +83,25 @@ BatchCost Accelerator::batch_cost(std::size_t passes, std::size_t warm_passes,
     trace_batch_schedule(schedule, pass_costs, cost.reload_s,
                          passes - warm_passes, "pass");
   }
+  if (metrics_ != nullptr) {
+    // Per-core cost decomposition of the modeled schedule — the `core`
+    // dimension of the attribution metrics (tenant x model come from the
+    // serving layer).  Shards arrive in core order, so the label family
+    // is created and updated deterministically.
+    for (const CoreShard& shard : schedule.shards) {
+      if (shard.pass_indices.empty()) continue;
+      const telemetry::LabelSet labels = {
+          {"core", std::to_string(shard.core)}};
+      metrics_
+          ->counter("fleet_core_busy_seconds_total", labels,
+                    "modeled busy time per core [s]")
+          .inc(shard.busy_time);
+      metrics_
+          ->counter("fleet_core_passes_total", labels,
+                    "weight-tile passes scheduled per core")
+          .inc(static_cast<double>(shard.pass_indices.size()));
+    }
+  }
   BatchCost out;
   out.latency = schedule.makespan();
   out.busy = schedule.total_busy();

@@ -33,6 +33,44 @@ struct LatencyStats {
   static LatencyStats from_histogram(const telemetry::Histogram& histogram);
 };
 
+/// Exact cost attribution of one run to one tenant — the billing row the
+/// operator console's `TEN:COST?` answers from.  Batch costs are split
+/// across the batch's tenants proportionally to request count (integer
+/// quantities by largest remainder, so they stay exact); recalibration
+/// downtime and its energy land on the reserved `kFleetTenant` row, since
+/// no tenant caused them.
+///
+/// Conservation contract: the fleet totals in ServeReport (passes,
+/// warm_passes, busy, service_time, energy, recalibration_time) are
+/// *derived* from these rows — summed in sorted-tenant order — so
+/// per-tenant costs sum to the fleet totals bit-exactly, by construction,
+/// and a cost path that forgets to attribute breaks the conservation test.
+struct TenantCost {
+  /// Reserved row for fleet-side operations (recalibration downtime).
+  static constexpr const char* kFleetTenant = "(fleet)";
+
+  std::string tenant;
+  std::size_t requests = 0;  ///< completed requests of this tenant
+  std::size_t batches = 0;   ///< batches carrying >= 1 of its requests
+  std::size_t passes = 0;       ///< weight-tile residency share
+  std::size_t warm_passes = 0;  ///< reload-free residency share
+  double service_seconds = 0.0;  ///< share of batch service latencies [s]
+  double busy_seconds = 0.0;     ///< share of summed core-busy time [s]
+  double energy_joules = 0.0;    ///< share of fleet execution energy [J]
+  std::size_t recalibrations = 0;        ///< fleet row only
+  double recalibration_seconds = 0.0;    ///< fleet row only [s]
+};
+
+/// Per-objective summary of one run's SLO evaluation (serve/slo.hpp).
+struct SloSummary {
+  std::string name;
+  std::uint64_t observed = 0;  ///< completions the objective scored
+  std::uint64_t bad = 0;       ///< budget-consuming completions
+  double short_burn = 0.0;     ///< burn rates at the last completion
+  double long_burn = 0.0;
+  std::size_t alerts = 0;      ///< multi-window breach firings
+};
+
 /// Everything one Server::run produced: the request/batch trace, the
 /// latency decomposition, and the fleet-level serving metrics.
 struct ServeReport {
@@ -52,6 +90,9 @@ struct ServeReport {
 
   double makespan = 0.0;  ///< last batch completion time [s]
   double busy = 0.0;      ///< summed core-busy time [s]
+  /// Summed per-batch service latencies [s] (dispatch -> completion, over
+  /// batches) — the quantity TenantCost::service_seconds decomposes.
+  double service_time = 0.0;
   /// Fleet ledger energy consumed executing the run's forward passes [J].
   /// This is the full (cold) execution energy: warm passes shorten the
   /// modeled latency but are not credited here — the ledger still pays
@@ -76,6 +117,19 @@ struct ServeReport {
   double recalibration_time = 0.0;
   /// Worst per-batch fleet detuning seen during the run [K].
   double max_abs_detuning = 0.0;
+
+  // --- attribution / SLOs ---------------------------------------------------
+  /// Exact per-tenant cost decomposition, sorted by tenant name.  The
+  /// fleet totals above (passes, warm_passes, busy, service_time, energy,
+  /// recalibration_time) are the sums over these rows in this order, so
+  /// attribution conserves them bit-exactly.
+  std::vector<TenantCost> tenant_costs;
+  /// Final state of every SLO monitor attached to the Server, in
+  /// registration order.
+  std::vector<SloSummary> slos;
+
+  /// Cost row for one tenant (nullptr when it served no requests).
+  const TenantCost* tenant_cost(const std::string& tenant) const;
 
   /// Completed requests per modeled second.
   double throughput() const;

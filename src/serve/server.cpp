@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <utility>
 
 #include "common/expects.hpp"
@@ -18,6 +19,41 @@ telemetry::HistogramOptions latency_histogram_options() {
   options.max = 1e4;
   options.buckets_per_decade = 32;
   return options;
+}
+
+/// Requests one tenant contributed to the current batch — the attribution
+/// weights.  std::map iteration gives sorted-tenant order, which fixes the
+/// split's tie-breaks and the summation order deterministically.
+using TenantShares = std::map<std::string, std::size_t>;
+
+/// Splits the integer quantity `total` across the batch's tenants
+/// proportionally to their request counts, exactly: largest-remainder
+/// apportionment, remainder ties broken by tenant order.  The shares sum
+/// to `total` — no quantity is created or dropped — which is what keeps
+/// integer cost conservation bit-exact by construction.
+std::map<std::string, std::size_t> split_exact(std::size_t total,
+                                               const TenantShares& shares,
+                                               std::size_t batch_size) {
+  std::map<std::string, std::size_t> out;
+  std::size_t assigned = 0;
+  std::vector<std::pair<std::size_t, const std::string*>> remainders;
+  remainders.reserve(shares.size());
+  for (const auto& [tenant, count] : shares) {
+    const std::size_t base = total * count / batch_size;
+    out[tenant] = base;
+    assigned += base;
+    remainders.emplace_back(total * count % batch_size, &tenant);
+  }
+  // Hand the leftover units to the largest remainders; stable_sort keeps
+  // the sorted-tenant order among ties.
+  std::stable_sort(remainders.begin(), remainders.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  expects(total - assigned <= remainders.size(),
+          "largest-remainder leftover exceeds the tenant count");
+  for (std::size_t i = 0; i < total - assigned; ++i) {
+    ++out[*remainders[i].second];
+  }
+  return out;
 }
 
 }  // namespace
@@ -39,6 +75,16 @@ void Server::set_metrics(telemetry::MetricsRegistry* metrics) {
   accelerator_.set_metrics(metrics);
 }
 
+void Server::add_slo(const SloObjective& objective) {
+  for (const SloMonitor& monitor : slos_) {
+    expects(monitor.objective().name != objective.name,
+            "SLO names must be unique per server");
+  }
+  slos_.emplace_back(objective);
+}
+
+void Server::clear_slos() { slos_.clear(); }
+
 ServeReport Server::run(const std::vector<Request>& requests,
                         const BatchPolicy& policy, const RunOptions& options) {
   for (std::size_t i = 0; i + 1 < requests.size(); ++i) {
@@ -49,6 +95,20 @@ ServeReport Server::run(const std::vector<Request>& requests,
   accelerator_.reset_drift();
   accelerator_.set_trace_time(0.0);
   const double energy_before = accelerator_.fleet_ledger().total_energy();
+
+  // --- cost attribution state ---
+  // Every joule and second the run charges is attributed to a tenant row
+  // as it happens; fleet-side work (recalibration) lands on the reserved
+  // TenantCost::kFleetTenant row.  `ledger_last` walks the fleet energy
+  // ledger so each attribution event gets exactly the delta it caused.
+  std::map<std::string, TenantCost> costs;
+  double ledger_last = energy_before;
+  const auto cost_row = [&costs](const std::string& tenant) -> TenantCost& {
+    TenantCost& row = costs[tenant];
+    if (row.tenant.empty()) row.tenant = tenant;
+    return row;
+  };
+  for (SloMonitor& monitor : slos_) monitor.reset();
 
   DynamicBatcher batcher(policy);
   ServeReport report;
@@ -137,8 +197,27 @@ ServeReport Server::run(const std::vector<Request>& requests,
         accelerator_.set_trace_time(dispatch_at);
         const runtime::BatchCost downtime = accelerator_.recalibrate();
         ++report.recalibrations;
-        report.recalibration_time += downtime.latency;
         last_recalibration = dispatch_at;
+        // Recalibration is fleet overhead no tenant caused: its downtime
+        // and ledger energy bill to the reserved fleet row.
+        {
+          const double ledger_now =
+              accelerator_.fleet_ledger().total_energy();
+          const double recal_energy = ledger_now - ledger_last;
+          ledger_last = ledger_now;
+          TenantCost& fleet_row = cost_row(TenantCost::kFleetTenant);
+          ++fleet_row.recalibrations;
+          fleet_row.recalibration_seconds += downtime.latency;
+          fleet_row.energy_joules += recal_energy;
+          if (metrics_ != nullptr) {
+            metrics_
+                ->counter("serve_tenant_energy_joules_total",
+                          {{"tenant", TenantCost::kFleetTenant},
+                           {"model", "(recal)"}},
+                          "attributed fleet ledger energy [J]")
+                .inc(recal_energy);
+          }
+        }
         recalibrated_since_dispatch = true;
         fleet_free = dispatch_at + downtime.latency;
         if (tracer_ != nullptr) {
@@ -180,6 +259,11 @@ ServeReport Server::run(const std::vector<Request>& requests,
     accelerator_.set_trace_time(dispatch_at);
     const BatchDispatch result =
         registry_.run_batch(batch.front().model, x);
+    // Snapshot the ledger before the float-reference scoring below: this
+    // batch's energy delta is exactly what its tile passes charged.
+    const double batch_energy =
+        accelerator_.fleet_ledger().total_energy() - ledger_last;
+    ledger_last += batch_energy;
     const double completion = dispatch_at + result.latency;
     const std::vector<std::size_t> predicted =
         nn::argmax_rows(result.logits);
@@ -222,6 +306,64 @@ ServeReport Server::run(const std::vector<Request>& requests,
           .observe(static_cast<double>(batch.size()));
     }
 
+    // Attribute this batch's cost to its tenants, weighted by request
+    // count: integers by exact largest-remainder apportionment, time and
+    // energy by the count fraction (a single-tenant batch takes the whole
+    // quantity bitwise — the fraction is exactly 1.0).  Service latency is
+    // per-request, so a tenant's share is exactly n_i * latency.
+    {
+      TenantShares shares;
+      for (const Request& request : batch) ++shares[request.tenant];
+      const auto pass_split =
+          split_exact(result.passes, shares, batch.size());
+      const auto warm_split =
+          split_exact(result.warm_passes, shares, batch.size());
+      for (const auto& [tenant, count] : shares) {
+        const double fraction =
+            static_cast<double>(count) / static_cast<double>(batch.size());
+        const double service_share =
+            static_cast<double>(count) * result.latency;
+        const double busy_share = result.busy * fraction;
+        const double energy_share = batch_energy * fraction;
+        TenantCost& row = cost_row(tenant);
+        row.requests += count;
+        ++row.batches;
+        row.passes += pass_split.at(tenant);
+        row.warm_passes += warm_split.at(tenant);
+        row.service_seconds += service_share;
+        row.busy_seconds += busy_share;
+        row.energy_joules += energy_share;
+        if (metrics_ != nullptr) {
+          const telemetry::LabelSet labels = {
+              {"tenant", tenant}, {"model", batch_record.model}};
+          metrics_
+              ->counter("serve_tenant_requests_total", labels,
+                        "completed requests per tenant x model")
+              .inc(static_cast<double>(count));
+          metrics_
+              ->counter("serve_tenant_passes_total", labels,
+                        "attributed weight-tile residencies")
+              .inc(static_cast<double>(pass_split.at(tenant)));
+          metrics_
+              ->counter("serve_tenant_warm_passes_total", labels,
+                        "attributed reload-free residencies")
+              .inc(static_cast<double>(warm_split.at(tenant)));
+          metrics_
+              ->counter("serve_tenant_service_seconds_total", labels,
+                        "attributed service latency [s]")
+              .inc(service_share);
+          metrics_
+              ->counter("serve_tenant_busy_seconds_total", labels,
+                        "attributed core-busy time [s]")
+              .inc(busy_share);
+          metrics_
+              ->counter("serve_tenant_energy_joules_total", labels,
+                        "attributed fleet ledger energy [J]")
+              .inc(energy_share);
+        }
+      }
+    }
+
     for (std::size_t r = 0; r < batch.size(); ++r) {
       const double wait = dispatch_at - batch[r].arrival;
       const double service = result.latency;
@@ -241,6 +383,12 @@ ServeReport Server::run(const std::vector<Request>& requests,
       }
       const bool matches = !report.accuracy_scored || predicted[r] == reference[r];
       if (report.accuracy_scored && matches) ++report.reference_matches;
+      // SLO monitors see every completion in event-loop order (before the
+      // tenant string is moved into the record below).
+      for (SloMonitor& monitor : slos_) {
+        monitor.observe(completion, batch[r].tenant, total, !matches,
+                        metrics_, tracer_);
+      }
       if (tracer_ != nullptr) {
         tracer_->async_end("request", "request", batch[r].id, completion);
       }
@@ -263,13 +411,63 @@ ServeReport Server::run(const std::vector<Request>& requests,
     if (options.keep_records) report.batches.push_back(std::move(batch_record));
     report.passes += result.passes;
     report.warm_passes += result.warm_passes;
-    report.busy += result.busy;
+    // report.busy is derived from the attribution rows at finalize.
     fleet_free = completion;
   }
 
   report.makespan = fleet_free;
-  report.energy =
-      accelerator_.fleet_ledger().total_energy() - energy_before;
+
+  // Any ledger energy charged outside the attributed windows (there is
+  // normally none) is fleet overhead; bill it so attribution stays
+  // exhaustive.
+  const double unattributed =
+      accelerator_.fleet_ledger().total_energy() - ledger_last;
+  if (unattributed != 0.0) {
+    cost_row(TenantCost::kFleetTenant).energy_joules += unattributed;
+  }
+
+  // The fleet totals are *derived* from the attribution rows, summed in
+  // sorted-tenant order — the conservation contract: per-tenant costs sum
+  // to these bit-exactly because these ARE those sums.  The integer
+  // cross-checks catch a cost path that forgot to attribute.
+  report.tenant_costs.reserve(costs.size());
+  std::size_t attributed_requests = 0;
+  std::size_t attributed_passes = 0;
+  std::size_t attributed_warm = 0;
+  for (auto& [tenant, row] : costs) {
+    attributed_requests += row.requests;
+    attributed_passes += row.passes;
+    attributed_warm += row.warm_passes;
+    report.tenant_costs.push_back(std::move(row));
+  }
+  expects(attributed_requests == report.completed,
+          "attributed requests must equal completions");
+  expects(attributed_passes == report.passes,
+          "attributed passes must conserve the fleet total");
+  expects(attributed_warm == report.warm_passes,
+          "attributed warm passes must conserve the fleet total");
+  report.busy = 0.0;
+  report.energy = 0.0;
+  report.service_time = 0.0;
+  report.recalibration_time = 0.0;
+  for (const TenantCost& row : report.tenant_costs) {
+    report.busy += row.busy_seconds;
+    report.energy += row.energy_joules;
+    report.service_time += row.service_seconds;
+    report.recalibration_time += row.recalibration_seconds;
+  }
+
+  report.slos.reserve(slos_.size());
+  for (const SloMonitor& monitor : slos_) {
+    SloSummary summary;
+    summary.name = monitor.objective().name;
+    summary.observed = monitor.observed();
+    summary.bad = monitor.bad();
+    summary.short_burn = monitor.short_burn();
+    summary.long_burn = monitor.long_burn();
+    summary.alerts = monitor.alerts().size();
+    report.slos.push_back(std::move(summary));
+  }
 
   report.queue_wait = LatencyStats::from_histogram(wait_hist);
   report.service = LatencyStats::from_histogram(service_hist);

@@ -8,6 +8,7 @@
 #include "serve/latency_stats.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/request.hpp"
+#include "serve/slo.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -55,6 +56,13 @@ class Server {
   void set_metrics(telemetry::MetricsRegistry* metrics);
   telemetry::MetricsRegistry* metrics() const { return metrics_; }
 
+  /// Registers a declarative SLO.  Monitors persist across runs (each run
+  /// resets their window state), are fed every completion in event-loop
+  /// order, and summarize into ServeReport::slos.
+  void add_slo(const SloObjective& objective);
+  void clear_slos();
+  const std::vector<SloMonitor>& slos() const { return slos_; }
+
   /// Serves `requests` (sorted by arrival — LoadGenerator output
   /// qualifies) under `policy` and returns the full report.  Arrivals at
   /// exactly the dispatch instant join the closing batch.  Once the
@@ -72,6 +80,13 @@ class Server {
   /// Latency summaries (queue_wait / service / total) are aggregated in
   /// O(buckets) log-scale histograms: count, mean, and max are exact;
   /// percentiles are within one bucket (~7.5%) of the exact sample.
+  ///
+  /// Every batch's cost (passes, busy time, ledger energy, service
+  /// latency) is attributed to the batch's tenants as it completes
+  /// (ServeReport::tenant_costs), and the report's fleet totals are
+  /// derived from those rows so the decomposition conserves them
+  /// bit-exactly.  Registered SLO monitors observe every completion and
+  /// summarize into ServeReport::slos.
   ServeReport run(const std::vector<Request>& requests,
                   const BatchPolicy& policy, const RunOptions& options = {});
 
@@ -80,6 +95,7 @@ class Server {
   ModelRegistry& registry_;
   telemetry::Tracer* tracer_ = nullptr;
   telemetry::MetricsRegistry* metrics_ = nullptr;
+  std::vector<SloMonitor> slos_;
 };
 
 }  // namespace ptc::serve

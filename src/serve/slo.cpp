@@ -1,0 +1,108 @@
+#include "serve/slo.hpp"
+
+#include <utility>
+
+#include "common/expects.hpp"
+
+namespace ptc::serve {
+
+SloMonitor::SloMonitor(SloObjective objective)
+    : objective_(std::move(objective)) {
+  expects(!objective_.name.empty(), "SLO name must be non-empty");
+  expects(objective_.objective > 0.0 && objective_.objective < 1.0,
+          "SLO objective must be in (0, 1)");
+  expects(objective_.short_window > 0.0,
+          "SLO short window must be positive");
+  expects(objective_.long_window >= objective_.short_window,
+          "SLO long window must be >= the short window");
+  expects(objective_.burn_threshold > 0.0,
+          "SLO burn threshold must be positive");
+  expects(objective_.kind != SloObjective::Kind::kLatency ||
+              objective_.latency_target > 0.0,
+          "latency SLO needs a positive latency target");
+}
+
+void SloMonitor::Window::push(double t, bool is_bad, double span) {
+  events.emplace_back(t, is_bad);
+  if (is_bad) ++bad;
+  // Evict completions that fell out of the trailing window.  Completions
+  // arrive in nondecreasing modeled time, so eviction is amortized O(1).
+  while (!events.empty() && events.front().first <= t - span) {
+    if (events.front().second) --bad;
+    events.pop_front();
+  }
+}
+
+double SloMonitor::Window::bad_fraction() const {
+  if (events.empty()) return 0.0;
+  return static_cast<double>(bad) / static_cast<double>(events.size());
+}
+
+void SloMonitor::Window::clear() {
+  events.clear();
+  bad = 0;
+}
+
+void SloMonitor::reset() {
+  short_window_.clear();
+  long_window_.clear();
+  short_burn_ = 0.0;
+  long_burn_ = 0.0;
+  breaching_ = false;
+  observed_ = 0;
+  bad_ = 0;
+  alerts_.clear();
+}
+
+void SloMonitor::observe(double t, const std::string& tenant,
+                         double total_latency, bool error,
+                         telemetry::MetricsRegistry* metrics,
+                         telemetry::Tracer* tracer) {
+  if (!objective_.tenant.empty() && tenant != objective_.tenant) return;
+
+  const bool is_bad = objective_.kind == SloObjective::Kind::kLatency
+                          ? total_latency > objective_.latency_target
+                          : error;
+  ++observed_;
+  if (is_bad) ++bad_;
+  short_window_.push(t, is_bad, objective_.short_window);
+  long_window_.push(t, is_bad, objective_.long_window);
+
+  const double budget = 1.0 - objective_.objective;
+  short_burn_ = short_window_.bad_fraction() / budget;
+  long_burn_ = long_window_.bad_fraction() / budget;
+
+  if (metrics != nullptr) {
+    if (metrics != cached_metrics_) {
+      cached_metrics_ = metrics;
+      short_gauge_ = &metrics->gauge(
+          "slo_burn_rate", {{"slo", objective_.name}, {"window", "short"}},
+          "error-budget burn rate per sliding window");
+      long_gauge_ = &metrics->gauge(
+          "slo_burn_rate", {{"slo", objective_.name}, {"window", "long"}});
+    }
+    short_gauge_->set(short_burn_);
+    long_gauge_->set(long_burn_);
+  }
+
+  const bool breach = short_burn_ >= objective_.burn_threshold &&
+                      long_burn_ >= objective_.burn_threshold;
+  if (breach && !breaching_) {
+    alerts_.push_back({t, short_burn_, long_burn_});
+    if (tracer != nullptr) {
+      tracer->instant(telemetry::track::kServe, "slo_alert", "slo", t,
+                      {{"slo", objective_.name.c_str()},
+                       {"short_burn", short_burn_},
+                       {"long_burn", long_burn_}});
+    }
+    if (metrics != nullptr) {
+      metrics
+          ->counter("slo_alerts_total", {{"slo", objective_.name}},
+                    "multi-window burn-rate alert firings")
+          .inc();
+    }
+  }
+  breaching_ = breach;
+}
+
+}  // namespace ptc::serve

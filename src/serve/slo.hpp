@@ -1,0 +1,120 @@
+#ifndef PTC_SERVE_SLO_HPP
+#define PTC_SERVE_SLO_HPP
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+/// Declarative serving SLOs with multi-window burn-rate alerting, evaluated
+/// on *modeled hardware time* — the operator-console half of the control
+/// plane.  An objective states what fraction of requests must be "good"
+/// (latency under a target, or prediction matching the float reference);
+/// the monitor watches the live completion stream through two sliding
+/// windows and fires an alert when both burn the error budget faster than
+/// the threshold — the standard multi-window multi-burn-rate recipe, which
+/// a short window alone would trip on noise and a long window alone would
+/// answer too late.
+///
+/// Determinism contract: monitors are fed from the Server's event loop in
+/// completion order with modeled timestamps, so burn rates, alert instants,
+/// and alert counts are bit-identical across runs and host thread counts.
+namespace ptc::serve {
+
+/// One declarative objective.  `objective` is the target good fraction
+/// (e.g. 0.99 == "99% of requests under latency_target" — the p99 SLO);
+/// the error budget is 1 - objective, and a burn rate of 1.0 means the
+/// stream is consuming budget exactly at the sustainable rate.
+struct SloObjective {
+  std::string name;    ///< unique per server; the `slo` label on exports
+  std::string tenant;  ///< restrict to one tenant ("" = every request)
+
+  enum class Kind {
+    kLatency,    ///< bad = total (arrival -> completion) latency > target
+    kErrorRate,  ///< bad = predicted class mismatches the float reference
+  };
+  Kind kind = Kind::kLatency;
+  /// Latency threshold [s] for Kind::kLatency (ignored for error rate).
+  double latency_target = 0.0;
+  /// Target good fraction in (0, 1); error budget = 1 - objective.
+  double objective = 0.99;
+  /// Sliding windows [s] of modeled time; 0 < short_window <= long_window.
+  double short_window = 0.0;
+  double long_window = 0.0;
+  /// Alert when BOTH windows burn at >= this multiple of the sustainable
+  /// budget rate (1.0 = budget exactly consumed over the window).
+  double burn_threshold = 1.0;
+};
+
+/// One alert firing (rising edge of the two-window breach condition).
+struct SloAlert {
+  double time = 0.0;        ///< modeled completion instant that tripped it
+  double short_burn = 0.0;  ///< short-window burn rate at that instant
+  double long_burn = 0.0;   ///< long-window burn rate at that instant
+};
+
+/// Evaluates one SloObjective over a completion stream.  Owned by the
+/// Server (Server::add_slo), reset at the start of every run, queryable
+/// afterwards (console `SLO:BURN?` / `ALERT:LIST?`).
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloObjective objective);
+
+  const SloObjective& objective() const { return objective_; }
+
+  /// Forgets all window state and alerts (fresh run).
+  void reset();
+
+  /// One request completion at modeled time `t`.  Requests of other
+  /// tenants are ignored when the objective names one.  When sinks are
+  /// attached, burn-rate gauges update every observation and alert
+  /// firings emit a trace instant event plus a labeled alert counter.
+  void observe(double t, const std::string& tenant, double total_latency,
+               bool error, telemetry::MetricsRegistry* metrics,
+               telemetry::Tracer* tracer);
+
+  /// Burn rates as of the last observation (0 before any).
+  double short_burn() const { return short_burn_; }
+  double long_burn() const { return long_burn_; }
+  /// True while the two-window breach condition holds.
+  bool breaching() const { return breaching_; }
+
+  std::uint64_t observed() const { return observed_; }
+  std::uint64_t bad() const { return bad_; }
+  const std::vector<SloAlert>& alerts() const { return alerts_; }
+
+ private:
+  /// Sliding window over (time, bad) completion events.
+  struct Window {
+    std::deque<std::pair<double, bool>> events;
+    std::uint64_t bad = 0;
+
+    void push(double t, bool is_bad, double span);
+    double bad_fraction() const;
+    void clear();
+  };
+
+  SloObjective objective_;
+  Window short_window_;
+  Window long_window_;
+  double short_burn_ = 0.0;
+  double long_burn_ = 0.0;
+  bool breaching_ = false;
+  std::uint64_t observed_ = 0;
+  std::uint64_t bad_ = 0;
+  std::vector<SloAlert> alerts_;
+  // Cached burn-rate gauges (labeled-child lookup is string work; the
+  // completion loop is the hot path).  Re-resolved when the registry
+  // pointer changes.
+  telemetry::MetricsRegistry* cached_metrics_ = nullptr;
+  telemetry::Gauge* short_gauge_ = nullptr;
+  telemetry::Gauge* long_gauge_ = nullptr;
+};
+
+}  // namespace ptc::serve
+
+#endif  // PTC_SERVE_SLO_HPP

@@ -157,6 +157,7 @@ BenchComparison compare_bench_reports(const json::Value& baseline,
     mc.name = name;
     mc.baseline = base.value;
     mc.gated = base.direction != Direction::kInformational;
+    if (mc.gated) mc.tolerance = base.tolerance;
 
     const auto it = cur_metrics.find(name);
     if (it == cur_metrics.end()) {
@@ -176,6 +177,7 @@ BenchComparison compare_bench_reports(const json::Value& baseline,
     if (mc.gated) {
       if (base.direction == Direction::kHigherIsBetter) {
         const double floor = base.value * (1.0 - base.tolerance);
+        mc.bound = floor;
         mc.regressed = mc.current < floor;
         mc.note = mc.regressed
                       ? "regressed: " + json::format_number(mc.current) +
@@ -183,6 +185,7 @@ BenchComparison compare_bench_reports(const json::Value& baseline,
                       : "ok (floor " + json::format_number(floor) + ")";
       } else {
         const double ceiling = base.value * (1.0 + base.tolerance);
+        mc.bound = ceiling;
         mc.regressed = mc.current > ceiling;
         mc.note = mc.regressed
                       ? "regressed: " + json::format_number(mc.current) +

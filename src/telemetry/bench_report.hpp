@@ -81,6 +81,12 @@ struct MetricComparison {
   double current = 0.0;
   double ratio = 0.0;  ///< current / baseline (0 when baseline is 0)
   bool gated = false;
+  /// Baseline-declared relative slack (0 for informational metrics).
+  double tolerance = 0.0;
+  /// The pass/fail threshold the tolerance implies: the floor
+  /// (higher-is-better) or ceiling (lower-is-better) the current value was
+  /// held against; 0 for informational metrics.
+  double bound = 0.0;
   bool regressed = false;
   std::string note;  ///< human-readable verdict
 };

@@ -1,7 +1,9 @@
 #include "telemetry/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <string_view>
 
 #include "common/expects.hpp"
 #include "common/json.hpp"
@@ -82,39 +84,123 @@ double Histogram::percentile(double p) const {
   return max_;  // overflow bucket: the exact max is the best statement
 }
 
+namespace {
+
+/// Prometheus text-format label value escaping: backslash, double quote,
+/// and line feed must be escaped; everything else passes through.
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Canonical form: sorted by key, duplicate keys rejected.
+LabelSet canonicalize(const LabelSet& labels) {
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+    expects(sorted[i].first != sorted[i + 1].first,
+            "duplicate label key in metric label set");
+  }
+  for (const auto& [key, value] : sorted) {
+    expects(!key.empty(), "metric label key must be non-empty");
+  }
+  return sorted;
+}
+
+}  // namespace
+
+std::string render_labels(const LabelSet& labels) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    out += escape_label_value(labels[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry_of_kind(const std::string& name,
+                                                       const char* kind) {
+  Entry& entry = entries_[name];
+  const bool is_counter =
+      entry.counter != nullptr || !entry.counter_children.empty();
+  const bool is_gauge =
+      entry.gauge != nullptr || !entry.gauge_children.empty();
+  const bool is_histogram = entry.histogram != nullptr;
+  const std::string_view want(kind);
+  expects((want == "counter" || !is_counter) &&
+              (want == "gauge" || !is_gauge) &&
+              (want == "histogram" || !is_histogram),
+          "metric name already registered with a different kind");
+  return entry;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& help) {
-  Entry& entry = entries_[name];
+  Entry& entry = entry_of_kind(name, "counter");
   if (entry.counter == nullptr) {
-    expects(entry.gauge == nullptr && entry.histogram == nullptr,
-            "metric name already registered with a different kind");
     entry.counter = std::make_unique<Counter>();
-    if (!help.empty()) entry.help = help;
+    if (!help.empty() && entry.help.empty()) entry.help = help;
   }
   return *entry.counter;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name,
                               const std::string& help) {
-  Entry& entry = entries_[name];
+  Entry& entry = entry_of_kind(name, "gauge");
   if (entry.gauge == nullptr) {
-    expects(entry.counter == nullptr && entry.histogram == nullptr,
-            "metric name already registered with a different kind");
     entry.gauge = std::make_unique<Gauge>();
-    if (!help.empty()) entry.help = help;
+    if (!help.empty() && entry.help.empty()) entry.help = help;
   }
   return *entry.gauge;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const LabelSet& labels,
+                                  const std::string& help) {
+  Entry& entry = entry_of_kind(name, "counter");
+  LabelSet canonical = canonicalize(labels);
+  auto& child = entry.counter_children[render_labels(canonical)];
+  if (child.instrument == nullptr) {
+    child.labels = std::move(canonical);
+    child.instrument = std::make_unique<Counter>();
+    if (!help.empty() && entry.help.empty()) entry.help = help;
+  }
+  return *child.instrument;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const LabelSet& labels,
+                              const std::string& help) {
+  Entry& entry = entry_of_kind(name, "gauge");
+  LabelSet canonical = canonicalize(labels);
+  auto& child = entry.gauge_children[render_labels(canonical)];
+  if (child.instrument == nullptr) {
+    child.labels = std::move(canonical);
+    child.instrument = std::make_unique<Gauge>();
+    if (!help.empty() && entry.help.empty()) entry.help = help;
+  }
+  return *child.instrument;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       const std::string& help,
                                       const HistogramOptions& options) {
-  Entry& entry = entries_[name];
+  Entry& entry = entry_of_kind(name, "histogram");
   if (entry.histogram == nullptr) {
-    expects(entry.counter == nullptr && entry.gauge == nullptr,
-            "metric name already registered with a different kind");
     entry.histogram = std::make_unique<Histogram>(options);
-    if (!help.empty()) entry.help = help;
+    if (!help.empty() && entry.help.empty()) entry.help = help;
   }
   return *entry.histogram;
 }
@@ -123,19 +209,55 @@ bool MetricsRegistry::contains(const std::string& name) const {
   return entries_.count(name) > 0;
 }
 
+bool MetricsRegistry::contains(const std::string& name,
+                               const LabelSet& labels) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  const std::string key = render_labels(canonicalize(labels));
+  return it->second.counter_children.count(key) > 0 ||
+         it->second.gauge_children.count(key) > 0;
+}
+
+std::vector<LabelSet> MetricsRegistry::label_sets(
+    const std::string& name) const {
+  std::vector<LabelSet> out;
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return out;
+  for (const auto& [key, child] : it->second.counter_children) {
+    out.push_back(child.labels);
+  }
+  for (const auto& [key, child] : it->second.gauge_children) {
+    out.push_back(child.labels);
+  }
+  return out;
+}
+
 std::string MetricsRegistry::prometheus_text() const {
   std::ostringstream out;
   for (const auto& [name, entry] : entries_) {
     if (!entry.help.empty()) {
       out << "# HELP " << name << " " << entry.help << "\n";
     }
-    if (entry.counter != nullptr) {
+    if (entry.counter != nullptr || !entry.counter_children.empty()) {
       out << "# TYPE " << name << " counter\n";
-      out << name << " " << json::format_number(entry.counter->value())
-          << "\n";
-    } else if (entry.gauge != nullptr) {
+      if (entry.counter != nullptr) {
+        out << name << " " << json::format_number(entry.counter->value())
+            << "\n";
+      }
+      for (const auto& [selector, child] : entry.counter_children) {
+        out << name << selector << " "
+            << json::format_number(child.instrument->value()) << "\n";
+      }
+    } else if (entry.gauge != nullptr || !entry.gauge_children.empty()) {
       out << "# TYPE " << name << " gauge\n";
-      out << name << " " << json::format_number(entry.gauge->value()) << "\n";
+      if (entry.gauge != nullptr) {
+        out << name << " " << json::format_number(entry.gauge->value())
+            << "\n";
+      }
+      for (const auto& [selector, child] : entry.gauge_children) {
+        out << name << selector << " "
+            << json::format_number(child.instrument->value()) << "\n";
+      }
     } else if (entry.histogram != nullptr) {
       const Histogram& h = *entry.histogram;
       out << "# TYPE " << name << " histogram\n";
@@ -162,19 +284,69 @@ std::string MetricsRegistry::prometheus_text() const {
   return out.str();
 }
 
+namespace {
+
+std::string labels_json(const LabelSet& labels) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += json::quote(labels[i].first);
+    out += ": ";
+    out += json::quote(labels[i].second);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
 std::string MetricsRegistry::to_json() const {
   std::ostringstream counters, gauges, histograms;
   bool first_c = true, first_g = true, first_h = true;
   for (const auto& [name, entry] : entries_) {
-    if (entry.counter != nullptr) {
-      counters << (first_c ? "" : ", ") << json::quote(name)
-               << ": {\"value\": "
-               << json::format_number(entry.counter->value()) << "}";
+    if (entry.counter != nullptr || !entry.counter_children.empty()) {
+      counters << (first_c ? "" : ", ") << json::quote(name) << ": {";
+      bool wrote = false;
+      if (entry.counter != nullptr) {
+        counters << "\"value\": "
+                 << json::format_number(entry.counter->value());
+        wrote = true;
+      }
+      if (!entry.counter_children.empty()) {
+        counters << (wrote ? ", " : "") << "\"series\": [";
+        bool first_s = true;
+        for (const auto& [selector, child] : entry.counter_children) {
+          counters << (first_s ? "" : ", ") << "{\"labels\": "
+                   << labels_json(child.labels) << ", \"value\": "
+                   << json::format_number(child.instrument->value()) << "}";
+          first_s = false;
+        }
+        counters << "]";
+      }
+      counters << "}";
       first_c = false;
-    } else if (entry.gauge != nullptr) {
-      gauges << (first_g ? "" : ", ") << json::quote(name) << ": {\"value\": "
-             << json::format_number(entry.gauge->value()) << ", \"max\": "
-             << json::format_number(entry.gauge->max()) << "}";
+    } else if (entry.gauge != nullptr || !entry.gauge_children.empty()) {
+      gauges << (first_g ? "" : ", ") << json::quote(name) << ": {";
+      bool wrote = false;
+      if (entry.gauge != nullptr) {
+        gauges << "\"value\": " << json::format_number(entry.gauge->value())
+               << ", \"max\": " << json::format_number(entry.gauge->max());
+        wrote = true;
+      }
+      if (!entry.gauge_children.empty()) {
+        gauges << (wrote ? ", " : "") << "\"series\": [";
+        bool first_s = true;
+        for (const auto& [selector, child] : entry.gauge_children) {
+          gauges << (first_s ? "" : ", ") << "{\"labels\": "
+                 << labels_json(child.labels) << ", \"value\": "
+                 << json::format_number(child.instrument->value())
+                 << ", \"max\": "
+                 << json::format_number(child.instrument->max()) << "}";
+          first_s = false;
+        }
+        gauges << "]";
+      }
+      gauges << "}";
       first_g = false;
     } else if (entry.histogram != nullptr) {
       const Histogram& h = *entry.histogram;

@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 /// Uniform metrics spine for the simulator: counters, gauges, and
@@ -13,6 +14,12 @@
 /// Prometheus-style text exposition and JSON export.  This replaces the
 /// scattered tallies (AcceleratorStats fields, ad-hoc bench counters) with
 /// one namespace any layer can publish into.
+///
+/// Counters and gauges also come in *labeled families*: the same metric
+/// name fanned out across label sets (`serve_tenant_energy_joules_total
+/// {tenant="mobile",model="cnn"}`), which is what lets the serving layer
+/// attribute cost per tenant x model and the fleet per core without
+/// inventing one metric name per dimension value.
 ///
 /// Determinism contract: metrics are only ever mutated from the simulation's
 /// event-loop / calling thread (never from pool workers), values are modeled
@@ -102,9 +109,25 @@ class Histogram {
   double max_ = 0.0;
 };
 
+/// One metric label set: key -> value pairs.  Accessor calls may pass keys
+/// in any order; the registry canonicalizes (sorts by key) so
+/// `{{"a","1"},{"b","2"}}` and `{{"b","2"},{"a","1"}}` address the same
+/// child.  Duplicate keys are an error.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Renders a canonical (sorted) label set as the Prometheus selector
+/// `{key="value",...}` with value escaping (`\\`, `\"`, `\n`) — also the
+/// registry's internal child key, so exposition order is deterministic.
+std::string render_labels(const LabelSet& labels);
+
 /// Named metrics store.  Accessors create on first use and return stable
 /// references (instruments never move once created); names should follow
 /// Prometheus conventions (snake_case, `_total` suffix on counters).
+///
+/// A name addresses either one plain instrument or a labeled family of
+/// them (same kind across all children — mixing kinds under one name is an
+/// error); a plain sample and labeled children may coexist under one name,
+/// matching the text-exposition data model.
 class MetricsRegistry {
  public:
   Counter& counter(const std::string& name, const std::string& help = "");
@@ -112,24 +135,49 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name, const std::string& help = "",
                        const HistogramOptions& options = {});
 
+  /// Labeled children: one instrument per distinct label set under `name`.
+  Counter& counter(const std::string& name, const LabelSet& labels,
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, const LabelSet& labels,
+               const std::string& help = "");
+
   /// True when `name` exists as any instrument kind.
   bool contains(const std::string& name) const;
+  /// True when `name` has a child for exactly this label set.
+  bool contains(const std::string& name, const LabelSet& labels) const;
+
+  /// Label sets registered under `name`, in canonical (rendered) order.
+  std::vector<LabelSet> label_sets(const std::string& name) const;
 
   /// Prometheus text exposition format (sorted by name): counters and
-  /// gauges as single samples, histograms as cumulative `_bucket{le=...}`
-  /// series plus `_sum` and `_count`.
+  /// gauges as single samples (labeled children as `name{k="v",...}`
+  /// series, escaped per the text-format spec), histograms as cumulative
+  /// `_bucket{le=...}` series plus `_sum` and `_count`.
   std::string prometheus_text() const;
 
   /// JSON export of the same data (one object per instrument kind).
+  /// Labeled families export a "series" array of {labels, value} objects
+  /// alongside the plain "value" when one exists.
   std::string to_json() const;
 
  private:
+  template <typename T>
+  struct Child {
+    LabelSet labels;  ///< canonical (sorted by key)
+    std::unique_ptr<T> instrument;
+  };
   struct Entry {
     std::string help;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    /// Labeled children keyed by render_labels() of the canonical set.
+    std::map<std::string, Child<Counter>> counter_children;
+    std::map<std::string, Child<Gauge>> gauge_children;
   };
+
+  Entry& entry_of_kind(const std::string& name, const char* kind);
+
   std::map<std::string, Entry> entries_;
 };
 

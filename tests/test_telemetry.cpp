@@ -234,6 +234,90 @@ TEST(MetricsRegistry, CountersGaugesAndExposition) {
       doc.at("histograms").at("latency_seconds").at("count").as_number(), 1.0);
 }
 
+TEST(MetricsRegistry, LabeledFamiliesCanonicalizeAndAccumulate) {
+  telemetry::MetricsRegistry registry;
+  // Key order in the call site must not matter: both spellings address the
+  // same child.
+  registry
+      .counter("cost_total", {{"tenant", "mobile"}, {"model", "vision"}},
+               "attributed cost")
+      .inc(2.0);
+  registry.counter("cost_total", {{"model", "vision"}, {"tenant", "mobile"}})
+      .inc(3.0);
+  registry.counter("cost_total", {{"tenant", "edge"}, {"model", "kw"}}).inc();
+
+  EXPECT_TRUE(registry.contains(
+      "cost_total", {{"model", "vision"}, {"tenant", "mobile"}}));
+  EXPECT_FALSE(registry.contains("cost_total", {{"tenant", "nobody"}}));
+  EXPECT_DOUBLE_EQ(
+      registry.counter("cost_total", {{"tenant", "mobile"}, {"model", "vision"}})
+          .value(),
+      5.0);
+  EXPECT_EQ(registry.label_sets("cost_total").size(), 2u);
+
+  registry.gauge("burn", {{"slo", "p99"}, {"window", "short"}}).set(4.5);
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("burn", {{"window", "short"}, {"slo", "p99"}}).value(),
+      4.5);
+}
+
+TEST(MetricsRegistry, RenderLabelsFormatsSelectorsAndEscapes) {
+  // render_labels takes a canonical (already sorted) set and renders it
+  // verbatim; the registry sorts before calling it.
+  EXPECT_EQ(telemetry::render_labels({{"a", "1"}, {"b", "2"}}),
+            "{a=\"1\",b=\"2\"}");
+  // Backslash, quote, and newline escape per the Prometheus text format.
+  EXPECT_EQ(telemetry::render_labels({{"k", "a\\b\"c\nd"}}),
+            "{k=\"a\\\\b\\\"c\\nd\"}");
+}
+
+TEST(MetricsRegistry, LabeledExpositionRoundTripsThroughTextAndJson) {
+  telemetry::MetricsRegistry registry;
+  registry
+      .counter("tenant_energy_joules_total",
+               {{"tenant", "mobile"}, {"model", "vision"}}, "energy by tenant")
+      .inc(0.25);
+  registry
+      .counter("tenant_energy_joules_total",
+               {{"tenant", "edge"}, {"model", "kw"}})
+      .inc(0.75);
+  registry.gauge("slo_burn_rate", {{"slo", "p99"}, {"window", "long"}})
+      .set(1.5);
+
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("# TYPE tenant_energy_joules_total counter"),
+            std::string::npos);
+  // One line per child, labels in canonical (sorted-key) order.
+  EXPECT_NE(text.find("tenant_energy_joules_total{model=\"vision\","
+                      "tenant=\"mobile\"} 0.25"),
+            std::string::npos);
+  EXPECT_NE(text.find(
+                "tenant_energy_joules_total{model=\"kw\",tenant=\"edge\"} "
+                "0.75"),
+            std::string::npos);
+  EXPECT_NE(text.find("slo_burn_rate{slo=\"p99\",window=\"long\"} 1.5"),
+            std::string::npos);
+
+  // JSON: a "series" array of {labels, value} objects that parses back to
+  // the exact child values.
+  const json::Value doc = json::parse(registry.to_json());
+  const json::Value& series =
+      doc.at("counters").at("tenant_energy_joules_total").at("series");
+  ASSERT_EQ(series.as_array().size(), 2u);
+  double mobile = 0.0, edge = 0.0;
+  for (const json::Value& child : series.as_array()) {
+    const std::string tenant = child.at("labels").at("tenant").as_string();
+    if (tenant == "mobile") mobile = child.at("value").as_number();
+    if (tenant == "edge") edge = child.at("value").as_number();
+  }
+  EXPECT_DOUBLE_EQ(mobile, 0.25);
+  EXPECT_DOUBLE_EQ(edge, 0.75);
+  const json::Value& burn =
+      doc.at("gauges").at("slo_burn_rate").at("series").as_array()[0];
+  EXPECT_EQ(burn.at("labels").at("window").as_string(), "long");
+  EXPECT_DOUBLE_EQ(burn.at("value").as_number(), 1.5);
+}
+
 // --- JSON parser ------------------------------------------------------------
 
 TEST(Json, ParsesDocumentsAndRejectsGarbage) {
