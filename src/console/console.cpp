@@ -72,6 +72,7 @@ std::string Console::dispatch(const ScpiCommand& command) {
   if (mnemonic_matches(head, "FLEET")) return cmd_fleet(command);
   if (mnemonic_matches(head, "TENant")) return cmd_tenant(command);
   if (mnemonic_matches(head, "SLO")) return cmd_slo(command);
+  if (mnemonic_matches(head, "HEALth")) return cmd_health(command);
   if (mnemonic_matches(head, "ALERT")) {
     if (command.mnemonics.size() == 2 &&
         mnemonic_matches(command.mnemonics[1], "LIST") && command.query) {
@@ -112,7 +113,9 @@ std::string Console::cmd_snapshot() const {
       << " warm_fraction=" << num(report_.warm_fraction())
       << " accuracy=" << num(report_.accuracy())
       << " recalibrations=" << count(report_.recalibrations)
-      << " max_detuning_K=" << num(report_.max_abs_detuning);
+      << " max_detuning_K=" << num(report_.max_abs_detuning)
+      << " probes=" << count(report_.probes)
+      << " probe_overhead=" << num(report_.probe_overhead());
   return out.str();
 }
 
@@ -202,6 +205,9 @@ std::string Console::cmd_fleet(const ScpiCommand& command) {
     if (mnemonic_matches(leaf, "EPOCH")) {
       return count(accelerator_.core(core).calibration_epoch());
     }
+    if (mnemonic_matches(leaf, "HEALth")) {
+      return cmd_core_health(core);
+    }
     if (mnemonic_matches(leaf, "BUSY")) {
       telemetry::MetricsRegistry* metrics = server_.metrics();
       if (metrics == nullptr) return error("no metrics registry attached");
@@ -247,7 +253,9 @@ std::string Console::cmd_tenant(const ScpiCommand& command) {
         << " busy_s=" << num(cost->busy_seconds)
         << " energy_J=" << num(cost->energy_joules)
         << " recalibrations=" << count(cost->recalibrations)
-        << " recal_s=" << num(cost->recalibration_seconds);
+        << " recal_s=" << num(cost->recalibration_seconds)
+        << " probes=" << count(cost->probes)
+        << " probe_s=" << num(cost->probe_seconds);
     return out.str();
   }
   return error("unknown TENant command \"" + sub + "\"");
@@ -291,6 +299,60 @@ std::string Console::cmd_slo(const ScpiCommand& command) {
     return out.str();
   }
   return error("unknown SLO command \"" + sub + "\"");
+}
+
+std::string Console::cmd_core_health(std::size_t core) {
+  fleet::FleetHealthMonitor* health = server_.health();
+  if (health == nullptr) {
+    return error("no health monitor (serve with probe_period > 0 first)");
+  }
+  const fleet::DriftEstimator& estimator = health->estimator(core);
+  const fleet::AnomalyDetector& detector = health->detector(core);
+  telemetry::TimeSeriesStore& store = health->store();
+  // Last raw reading of one of this core's sensor channels (0 before the
+  // first sweep — the channels appear on the first sample()).
+  const auto last = [&](const char* sensor) {
+    const std::string name = "core" + count(core) + "/" + sensor;
+    return store.contains(name) ? store.channel(name).last_value() : 0.0;
+  };
+  std::ostringstream out;
+  out << "core=" << count(core) << " estimate_K=" << num(estimator.estimate())
+      << " raw_K=" << num(estimator.raw())
+      << " slope_K_per_s=" << num(estimator.slope())
+      << " probe_transmission=" << num(last("probe_transmission"))
+      << " heater_duty=" << num(last("heater_duty"))
+      << " epoch=" << count(accelerator_.core(core).calibration_epoch())
+      << " psram_bit_flips=" << num(last("psram_bit_flips"))
+      << " adc_saturation_rate=" << num(last("adc_saturation_rate"))
+      << " anomalous=" << (detector.anomalous() ? 1 : 0)
+      << " score=" << num(detector.score())
+      << " samples=" << count(health->samples_taken());
+  return out.str();
+}
+
+std::string Console::cmd_health(const ScpiCommand& command) {
+  if (command.mnemonics.size() != 2 || !command.query) {
+    return error("unknown HEALth command (try HEAL:ALERts?)");
+  }
+  const std::string& sub = command.mnemonics[1];
+  if (mnemonic_matches(sub, "ALERts")) {
+    fleet::FleetHealthMonitor* health = server_.health();
+    if (health == nullptr) {
+      return error("no health monitor (serve with probe_period > 0 first)");
+    }
+    if (health->alerts().empty()) return "none";
+    std::ostringstream out;
+    bool first = true;
+    for (const fleet::HealthAlert& alert : health->alerts()) {
+      if (!first) out << "\n";
+      first = false;
+      out << alert.name << " t=" << num(alert.time)
+          << " core=" << count(alert.core) << " value=" << num(alert.value)
+          << " score=" << num(alert.score);
+    }
+    return out.str();
+  }
+  return error("unknown HEALth command \"" + sub + "\"");
 }
 
 std::string Console::cmd_alerts() const {
@@ -381,11 +443,13 @@ std::string Console::cmd_help() const {
          "FLEET:CORE<i>:DETUNing?        one core's detuning [K]\n"
          "FLEET:CORE<i>:EPOCH?           one core's calibration epoch\n"
          "FLEET:CORE<i>:BUSY?            one core's attributed busy [s]\n"
+         "FLEET:CORE<i>:HEALth?          one core's sensor/estimator summary\n"
          "TENant:LIST?                   tenants billed in the last run\n"
          "TENant:COST? <tenant>          full cost attribution row\n"
          "SLO:LIST?                      registered SLO names\n"
          "SLO:BURN? [name]               burn rates per objective\n"
          "ALERT:LIST?                    burn-rate alert firings\n"
+         "HEALth:ALERts?                 health anomaly alert firings\n"
          "RECALibrate                    re-lock every core now\n"
          "TRACE:SIZE?                    trace events buffered\n"
          "TRACE:DUMP <path>              write Chrome trace JSON\n"

@@ -70,6 +70,8 @@ class Console {
   std::string cmd_fleet(const ScpiCommand& command);
   std::string cmd_tenant(const ScpiCommand& command);
   std::string cmd_slo(const ScpiCommand& command);
+  std::string cmd_core_health(std::size_t core);
+  std::string cmd_health(const ScpiCommand& command);
   std::string cmd_alerts() const;
   std::string cmd_recalibrate();
   std::string cmd_trace(const ScpiCommand& command);

@@ -62,8 +62,14 @@ serve::ServeReport DemoScenario::run() {
       {{.name = "mobile", .model = "vision", .rate = 120e6, .requests = 24},
        {.name = "embedded", .model = "keyword", .rate = 500e6, .requests = 36}},
       7);
+  // Oracle-free recalibration: probe sweeps every 10 ns feed the health
+  // monitor, and the re-lock fires from the *estimated* detuning — so the
+  // transcript's HEALth queries have live estimator state behind them.
+  // The demo drifts fast (tau = 1 us vs a ~125 ns run), so the threshold
+  // sits low enough for the lagging EWMA estimate to cross it mid-run.
   const serve::BatchPolicy policy{.max_batch = 8, .max_wait = 25e-9,
-                                  .recalibration_period = 60e-9};
+                                  .probe_period = 10e-9,
+                                  .estimated_drift_threshold = 0.1};
   return server_.run(generator.generate(registry_), policy);
 }
 

@@ -13,6 +13,7 @@ PsramArray::PsramArray(const PsramArrayConfig& config) : config_(config) {
           "bits per word must be in [1, 16]");
   expects(config.write_rate > 0.0, "write rate must be positive");
   words_.assign(config.rows * config.words_per_row, 0);
+  cell_flips_.assign(words_.size() * config.bits_per_word, 0);
 }
 
 std::size_t PsramArray::bitcell_count() const {
@@ -28,10 +29,18 @@ std::size_t PsramArray::write_word(std::size_t row, std::size_t index,
   expects(row < config_.rows && index < config_.words_per_row,
           "word coordinates out of range");
   expects(value <= max_weight(), "weight exceeds the word precision");
-  std::uint32_t& word = words_[row * config_.words_per_row + index];
+  const std::size_t word_index = row * config_.words_per_row + index;
+  std::uint32_t& word = words_[word_index];
   const std::uint32_t flips = word ^ value;
   word = value;
   const auto flipped = static_cast<std::size_t>(std::popcount(flips));
+  ++word_writes_;
+  bit_flips_ += flipped;
+  for (unsigned b = 0; b < config_.bits_per_word; ++b) {
+    if ((flips >> b) & 1u) {
+      ++cell_flips_[word_index * config_.bits_per_word + b];
+    }
+  }
   ledger_.add_energy("psram_write",
                      static_cast<double>(flipped) * config_.write_energy);
   return flipped;
@@ -66,6 +75,14 @@ bool PsramArray::bit(std::size_t row, std::size_t index, unsigned b) const {
 double PsramArray::hold_wall_power() const {
   return static_cast<double>(bitcell_count()) * config_.hold_bias_power /
          config_.wall_plug_efficiency;
+}
+
+std::uint64_t PsramArray::max_cell_flips() const {
+  std::uint32_t worst = 0;
+  for (const std::uint32_t flips : cell_flips_) {
+    if (flips > worst) worst = flips;
+  }
+  return worst;
 }
 
 double PsramArray::word_write_time() const {

@@ -72,10 +72,24 @@ class PsramArray {
   const circuit::EnergyLedger& ledger() const { return ledger_; }
   circuit::EnergyLedger& ledger() { return ledger_; }
 
+  // --- write-endurance counters (fleet-health sensor channels) --------------
+  /// Word writes performed since construction (including no-flip writes).
+  std::uint64_t word_writes() const { return word_writes_; }
+  /// Bitcell switching events since construction — the wear quantity an
+  /// endurance budget is written against.
+  std::uint64_t bit_flips() const { return bit_flips_; }
+  /// Switching events of the most-worn bitcell — the wear-leveling view an
+  /// endurance monitor alarms on.
+  std::uint64_t max_cell_flips() const;
+
  private:
   PsramArrayConfig config_;
   std::vector<std::uint32_t> words_;  // row-major
   circuit::EnergyLedger ledger_;
+  std::uint64_t word_writes_ = 0;
+  std::uint64_t bit_flips_ = 0;
+  /// Per-bitcell switching counts, [word][bit] flattened like words_.
+  std::vector<std::uint32_t> cell_flips_;
 };
 
 }  // namespace ptc::core

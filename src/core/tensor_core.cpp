@@ -52,6 +52,30 @@ TensorCore::TensorCore(const TensorCoreConfig& config)
     adcs_.emplace_back(adc_config);
   }
 
+  // Reserved calibration row: one macro per tile, weights all zero so every
+  // probe ring sits on resonance — the steepest flank of its transfer
+  // function, where a common-mode detuning moves the summed photocurrent
+  // the most.  Child seeds continue past the compute macros' and row ADCs'
+  // so the probe row never disturbs their variation streams.
+  probe_macros_.reserve(tiles);
+  for (std::size_t tile = 0; tile < tiles; ++tile) {
+    VectorMacroConfig probe_macro_config = config_.macro;
+    if (variation.enabled()) {
+      probe_macro_config.variation = config_.variation;
+      probe_macro_config.variation.seed =
+          variation.child_seed(config_.rows * tiles + config_.rows + tile);
+    }
+    probe_macros_.emplace_back(probe_macro_config);
+    probe_macros_.back().load_weights(
+        std::vector<std::uint32_t>(config_.macro.channels, 0));
+  }
+  probe_input_.assign(config_.macro.channels, 1.0);
+  probe_reference_ = 0.0;
+  for (const VectorComputeMacro& macro : probe_macros_) {
+    probe_reference_ += macro.multiply(probe_input_).photocurrent;
+  }
+  ensures(probe_reference_ > 0.0, "probe row calibration failed");
+
   // Full-scale row current: all inputs 1, all weights max across every tile.
   // The probe is the *design* device (variation stripped): a varied die's
   // deviation from this full scale is exactly the accuracy error the
@@ -188,6 +212,11 @@ void TensorCore::set_thermal_detuning(double delta_kelvin) {
       macro.set_temperature_offset(delta_kelvin);
     }
   }
+  // The probe row shares the die, so ambient drift detunes it identically —
+  // that coupling is exactly what makes its transmission a drift sensor.
+  for (auto& macro : probe_macros_) {
+    macro.set_temperature_offset(delta_kelvin);
+  }
   // Refresh the armed fast path at the new operating point so it stays
   // bit-identical to the physics walk (same chain function, same state).
   if (fast_.valid) {
@@ -198,6 +227,26 @@ void TensorCore::set_thermal_detuning(double delta_kelvin) {
 void TensorCore::recalibrate() {
   set_thermal_detuning(0.0);
   ++calibration_epoch_;
+}
+
+double TensorCore::probe_transmission() const {
+  double current = 0.0;
+  for (const VectorComputeMacro& macro : probe_macros_) {
+    current += macro.multiply(probe_input_).photocurrent;
+  }
+  return current / probe_reference_;
+}
+
+std::vector<double> TensorCore::probe_response_curve(
+    const std::vector<double>& detunings) {
+  std::vector<double> out;
+  out.reserve(detunings.size());
+  for (const double k : detunings) {
+    for (auto& macro : probe_macros_) macro.set_temperature_offset(k);
+    out.push_back(probe_transmission());
+  }
+  for (auto& macro : probe_macros_) macro.set_temperature_offset(detuning_);
+  return out;
 }
 
 double TensorCore::load_weights_normalized(const Matrix& weights) {
@@ -297,6 +346,8 @@ std::vector<unsigned> TensorCore::multiply(const std::vector<double>& input) {
     const double v_adc =
         analog[row] * readout_gain_ * config_.adc.v_full_scale;
     codes[row] = adcs_[row].code(v_adc);
+    ++adc_conversions_;
+    if (codes[row] == adcs_[row].max_code()) ++adc_saturations_;
   }
   ++samples_;
   // One ADC sample window of static power is burned per multiply.
@@ -327,7 +378,10 @@ Matrix TensorCore::multiply_batch(const Matrix& inputs) {
     for (std::size_t r = 0; r < config_.rows; ++r) {
       const double v_adc =
           analog[r] * readout_gain_ * config_.adc.v_full_scale;
-      out(s, r) = static_cast<double>(adcs_[r].code(v_adc)) / scale;
+      const unsigned code = adcs_[r].code(v_adc);
+      ++adc_conversions_;
+      if (code == adcs_[r].max_code()) ++adc_saturations_;
+      out(s, r) = static_cast<double>(code) / scale;
     }
     ++samples_;
     ledger_.accrue_static(sample_window);

@@ -130,6 +130,39 @@ class TensorCore {
   /// does not touch weights, detuning, or gains.
   void reset_calibration_epoch() { calibration_epoch_ = 0; }
 
+  // --- fleet-health sensor channels -----------------------------------------
+  /// Pilot-tone probe transmission through the reserved calibration row: a
+  /// spare row of multiply macros (not part of the compute array) holds
+  /// all-zero weights, parking every probe ring *on* resonance — the
+  /// steepest, most detuning-sensitive operating point.  The reading is the
+  /// row's photocurrent under an all-ones input, normalized to the same
+  /// measurement at the calibration point, so it reads exactly 1 when the
+  /// core is locked and rises as drift walks the rings off resonance.  This
+  /// is a real measurable (photocurrent ratio), computed through the same
+  /// spectral physics as the compute rows — the oracle-free signal
+  /// fleet::DriftEstimator inverts back to kelvin.
+  double probe_transmission() const;
+
+  /// Characterization sweep for estimator calibration: the probe row alone
+  /// is stepped through each detuning [K] and its transmission ratio
+  /// recorded; the probe is restored to the core's current detuning before
+  /// returning.  The compute rows are never touched, so sweeping is free of
+  /// side effects on results.
+  std::vector<double> probe_response_curve(
+      const std::vector<double>& detunings);
+
+  /// eoADC conversions performed (one per row per quantized sample) and how
+  /// many of them clipped at full scale — the saturation-rate sensor
+  /// channel (readout gain mis-set, or drift pushing rows out of range).
+  std::uint64_t adc_conversions() const { return adc_conversions_; }
+  std::uint64_t adc_saturations() const { return adc_saturations_; }
+  double adc_saturation_rate() const {
+    return adc_conversions_ > 0
+               ? static_cast<double>(adc_saturations_) /
+                     static_cast<double>(adc_conversions_)
+               : 0.0;
+  }
+
   /// Digital reference: exact dot products of the *stored* integer weights
   /// with the inputs, normalized like the analog path.
   std::vector<double> reference(const std::vector<double>& input) const;
@@ -224,6 +257,14 @@ class TensorCore {
   PsramArray psram_;
   /// macros_[row][tile]: each macro covers channels_per_macro columns.
   std::vector<std::vector<VectorComputeMacro>> macros_;
+  /// Reserved calibration row (one macro per tile, all-zero weights) — the
+  /// pilot-tone probe path.  Variation child seeds follow the compute
+  /// macros' and row ADCs', so adding the row never perturbs their streams.
+  std::vector<VectorComputeMacro> probe_macros_;
+  double probe_reference_ = 0.0;    ///< probe photocurrent at detuning 0 [A]
+  std::vector<double> probe_input_; ///< all-ones pilot tone
+  std::uint64_t adc_conversions_ = 0;
+  std::uint64_t adc_saturations_ = 0;
   std::vector<EoAdc> adcs_;
   circuit::LinearTia row_tia_;
   double full_scale_row_current_ = 0.0;

@@ -1,0 +1,255 @@
+#ifndef PTC_FLEET_HEALTH_HPP
+#define PTC_FLEET_HEALTH_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "optics/thermal.hpp"
+#include "runtime/accelerator.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/timeseries.hpp"
+#include "telemetry/trace.hpp"
+
+/// Fleet health monitoring: per-core sensor channels sampled on modeled
+/// time, online estimators that reconstruct thermal drift from what a real
+/// deployment can measure, and rising-edge anomaly alerting — the
+/// observability half of fault-tolerant fleet operations.
+///
+/// The point of this layer is what it does NOT read: the simulator's oracle
+/// detuning (`Accelerator::max_abs_detuning`).  Every input is a physical
+/// measurable — pilot-tone probe transmission through each core's reserved
+/// calibration row, calibration epochs, pSRAM write-endurance counters, ADC
+/// saturation rates — and the serving loop's `estimated_drift_threshold`
+/// trigger closes the recalibration loop on the *estimate* alone.  The
+/// oracle stays available to benches and tests as ground truth to score the
+/// estimator against.
+///
+/// Determinism contract: sampling happens from the Server's event loop at
+/// modeled instants, estimator state is a pure function of the observed
+/// (t, value) sequence, and per-core iteration is in core order — so
+/// estimates, alerts, and exports are bit-identical across host thread
+/// counts.
+namespace ptc::fleet {
+
+struct DriftEstimatorConfig {
+  /// EWMA smoothing factor on the inverted kelvin estimate in (0, 1];
+  /// 1 disables smoothing.
+  double ewma_alpha = 0.35;
+  /// Trailing (t, estimate) samples the least-squares slope is fit over.
+  std::size_t slope_window = 8;
+};
+
+/// Maps probe-transmission ratios back to estimated |detuning| [K] through
+/// a measured characterization curve (core::TensorCore::probe_response_curve
+/// swept at build time), then EWMA-smooths and tracks the drift slope.
+///
+/// The curve is the *averaged* response of the two signed branches
+/// (heating and cooling detune the rings in opposite spectral directions
+/// but raise the probe transmission on both), reduced to its strictly
+/// increasing envelope so inversion is unique; readings are clamped to the
+/// characterized range.
+class DriftEstimator {
+ public:
+  /// `kelvin` ascending from 0; `ratio` the probe transmission at each
+  /// point.  Points that do not strictly increase the ratio are dropped
+  /// (monotone envelope).
+  DriftEstimator(std::vector<double> kelvin, std::vector<double> ratio,
+                 const DriftEstimatorConfig& config = {});
+
+  /// Builds a core's estimator by sweeping its probe row over
+  /// [-max_kelvin, +max_kelvin] in `points` steps per branch and averaging
+  /// the branches.
+  static DriftEstimator characterize(core::TensorCore& core,
+                                     double max_kelvin, std::size_t points,
+                                     const DriftEstimatorConfig& config = {});
+
+  /// Forgets the EWMA / slope state (post-recalibration re-lock).
+  void reset();
+
+  /// One probe reading at modeled time `t`.
+  void observe(double t, double ratio);
+
+  /// Raw curve inversion of a ratio — exposed for tests and the console.
+  double invert(double ratio) const;
+
+  /// EWMA-smoothed |detuning| estimate [K] (0 before any observation).
+  double estimate() const { return estimate_; }
+  /// Last un-smoothed inversion [K].
+  double raw() const { return raw_; }
+  /// Least-squares d|detuning|/dt over the slope window [K/s].
+  double slope() const;
+  std::uint64_t observations() const { return observations_; }
+
+  const std::vector<double>& curve_kelvin() const { return kelvin_; }
+  const std::vector<double>& curve_ratio() const { return ratio_; }
+
+ private:
+  DriftEstimatorConfig config_;
+  std::vector<double> kelvin_;  ///< strictly-increasing-ratio envelope
+  std::vector<double> ratio_;
+  double estimate_ = 0.0;
+  double raw_ = 0.0;
+  std::uint64_t observations_ = 0;
+  std::deque<std::pair<double, double>> window_;  ///< (t, estimate)
+};
+
+struct AnomalyConfig {
+  enum class Kind {
+    kZScore,  ///< |value - rolling mean| / rolling std >= threshold
+    kCusum,   ///< two-sided CUSUM vs a frozen baseline >= threshold
+  };
+  Kind kind = Kind::kZScore;
+  /// Rolling-window length (z-score) or baseline sample count (CUSUM).
+  std::size_t window = 32;
+  /// Observations required before any detection fires.
+  std::size_t min_samples = 8;
+  /// Detection threshold in baseline standard deviations (z threshold, or
+  /// the CUSUM decision interval h).
+  double threshold = 4.0;
+  /// CUSUM slack k [sigmas]: drifts slower than this per sample are
+  /// absorbed (ignored by z-score).
+  double slack = 0.5;
+  /// Variance floor so a perfectly flat baseline cannot divide by zero.
+  double min_sigma = 1e-12;
+};
+
+/// Online change detection over one scalar channel.  observe() returns
+/// true only on the *rising edge* of the anomaly condition — the alerting
+/// convention SLO monitors use, so firings plug into the same plumbing.
+class AnomalyDetector {
+ public:
+  explicit AnomalyDetector(const AnomalyConfig& config = {});
+
+  void reset();
+
+  /// One sample; returns true when this observation newly trips detection.
+  bool observe(double t, double v);
+
+  /// True while the detection condition held at the last observation.
+  bool anomalous() const { return anomalous_; }
+  /// Last detection statistic [sigmas] (|z|, or the larger CUSUM sum).
+  double score() const { return score_; }
+  std::uint64_t alarms() const { return alarms_; }
+  std::uint64_t observations() const { return observations_; }
+
+  const AnomalyConfig& config() const { return config_; }
+
+ private:
+  AnomalyConfig config_;
+  std::deque<double> window_;  ///< z-score rolling window
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  // CUSUM state: baseline frozen after `window` samples.
+  double baseline_mean_ = 0.0;
+  double baseline_sigma_ = 0.0;
+  bool baseline_frozen_ = false;
+  double cusum_hi_ = 0.0;
+  double cusum_lo_ = 0.0;
+  double score_ = 0.0;
+  bool anomalous_ = false;
+  std::uint64_t alarms_ = 0;
+  std::uint64_t observations_ = 0;
+};
+
+/// One rising-edge health alert.
+struct HealthAlert {
+  double time = 0.0;     ///< modeled sample instant
+  std::size_t core = 0;  ///< core whose channel tripped
+  std::string name;      ///< alert name (the `slo` label on exports)
+  double value = 0.0;    ///< channel reading at the firing
+  double score = 0.0;    ///< detector statistic [sigmas]
+};
+
+struct HealthConfig {
+  /// ADC sample windows each core's probe burns per sensor sweep — the
+  /// probe-cost knob (runtime::Accelerator::probe_cost).
+  std::size_t probe_samples = 4;
+  /// Characterization sweep range [K] and points per signed branch.
+  double curve_max_kelvin = 4.0;
+  std::size_t curve_points = 33;
+  DriftEstimatorConfig estimator{};
+  /// Change detection on each core's probe-transmission channel.
+  AnomalyConfig anomaly{};
+  /// Ring geometry for every sensor channel.
+  telemetry::TimeSeriesOptions series{};
+};
+
+/// Owns the per-core sensor channels, estimators, and detectors; the
+/// Server samples it at the policy's probe cadence and consults
+/// max_estimate() for the oracle-free recalibration trigger.  The operator
+/// console answers FLEET:CORE<n>:HEALth? / HEALth:ALERts? from it.
+class FleetHealthMonitor {
+ public:
+  FleetHealthMonitor(runtime::Accelerator& accelerator,
+                     const HealthConfig& config = {});
+
+  /// Telemetry sinks (nullptr detaches).  While attached, every sample
+  /// publishes fleet_core_detuning_estimate{core} /
+  /// fleet_core_probe_transmission{core} gauges and per-core trace counter
+  /// tracks; alert firings emit `health_alert` instants and
+  /// slo_alerts_total{slo} counters through the SLO plumbing.
+  void set_metrics(telemetry::MetricsRegistry* metrics);
+  void set_tracer(telemetry::Tracer* tracer);
+
+  /// Forgets run state: estimators, detectors, series, alerts.  The
+  /// characterization curves persist — they are device properties.
+  void reset();
+
+  /// One sensor sweep across the fleet at modeled time `t`: reads each
+  /// core's probe transmission, epoch, pSRAM endurance counters, and ADC
+  /// saturation rate into the time-series store, updates the estimators
+  /// and detectors, and publishes to the attached sinks.  Reads sensors
+  /// only — never the oracle detuning.
+  void sample(double t);
+
+  /// The serving loop recalibrated at `t`: estimator and detector state
+  /// resets (the probe re-locks to ratio 1), pending anomaly flags clear.
+  void on_recalibration(double t);
+
+  std::size_t core_count() const { return estimators_.size(); }
+  const DriftEstimator& estimator(std::size_t core) const;
+  const AnomalyDetector& detector(std::size_t core) const;
+
+  /// EWMA |detuning| estimate for one core / the worst across the fleet
+  /// [K] — the Server's estimated_drift_threshold trigger input.
+  double estimate(std::size_t core) const;
+  double max_estimate() const;
+
+  /// Sweeps performed since reset().
+  std::uint64_t samples_taken() const { return samples_taken_; }
+  /// Modeled time of the last sweep (0 before any).
+  double last_sample_time() const { return last_sample_time_; }
+
+  const std::vector<HealthAlert>& alerts() const { return alerts_; }
+  std::uint64_t alerts_since_recalibration() const {
+    return alerts_since_recalibration_;
+  }
+
+  const telemetry::TimeSeriesStore& store() const { return store_; }
+  telemetry::TimeSeriesStore& store() { return store_; }
+
+  const HealthConfig& config() const { return config_; }
+
+ private:
+  std::string channel_name(std::size_t core, const char* sensor) const;
+
+  runtime::Accelerator& accelerator_;
+  HealthConfig config_;
+  std::vector<DriftEstimator> estimators_;
+  std::vector<AnomalyDetector> detectors_;
+  telemetry::TimeSeriesStore store_;
+  std::vector<HealthAlert> alerts_;
+  std::uint64_t alerts_since_recalibration_ = 0;
+  std::uint64_t samples_taken_ = 0;
+  double last_sample_time_ = 0.0;
+  optics::ThermalTunerConfig heater_;  ///< duty model for the heater channel
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::Tracer* tracer_ = nullptr;
+};
+
+}  // namespace ptc::fleet
+
+#endif  // PTC_FLEET_HEALTH_HPP

@@ -229,6 +229,16 @@ BatchCost Accelerator::recalibrate() {
   return downtime;
 }
 
+BatchCost Accelerator::probe_cost(std::size_t samples) const {
+  expects(samples >= 1, "a probe sweep streams at least one vector");
+  BatchCost out;
+  out.latency = static_cast<double>(samples) / sample_rate_;
+  out.busy = out.latency * static_cast<double>(cores_.size());
+  out.reloads = 0;
+  out.reload_time = 0.0;
+  return out;
+}
+
 Matrix Accelerator::matmul(const Matrix& x, const Matrix& w,
                            const nn::PhotonicBackendOptions& options) {
   return matmul(x, w, options, plan_cache_);

@@ -142,6 +142,15 @@ class Accelerator {
   /// Recalibrations performed since construction (or reset_drift()).
   std::size_t recalibrations() const { return recalibrations_; }
 
+  /// Modeled cost of one fleet-wide health probe sweep: every core streams
+  /// `samples` pilot-tone vectors through its reserved calibration row, all
+  /// cores in parallel.  The probe row's weights never change, so a sweep
+  /// pays no pSRAM reload — just `samples` ADC windows of latency — which
+  /// is what keeps the serving loop's sensor cadence cheap relative to a
+  /// full recalibration.  Pure function of (config, samples), the serve
+  /// layer's probe-cost accounting hook alongside batch_cost.
+  BatchCost probe_cost(std::size_t samples) const;
+
   /// Rewinds the drift subsystem to its initial state: clock 0, every
   /// core's OU process and stream reseeded, detuning 0.  Server::run calls
   /// this so identical runs see identical drift trajectories.

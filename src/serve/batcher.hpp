@@ -34,8 +34,26 @@ struct BatchPolicy {
   double recalibration_period = 0.0;
   /// Error-triggered recalibration: re-lock when the fleet's worst
   /// thermal-monitor detuning exceeds this threshold [K].  0 disables the
-  /// drift trigger.
+  /// drift trigger.  NOTE: this reads the simulator's oracle ground truth —
+  /// no real deployment can; it exists as the upper bound the estimated
+  /// trigger below is scored against (bench/serving_health).
   double drift_threshold = 0.0;
+
+  // --- fleet health / oracle-free recalibration -----------------------------
+  /// Sensor-sweep cadence [s] of modeled time: the serving loop runs one
+  /// pilot-tone probe sweep (runtime::Accelerator::probe_cost) per period
+  /// and feeds the fleet::FleetHealthMonitor.  Sweeps slot into fleet idle
+  /// gaps when possible and otherwise delay the next dispatch by the probe
+  /// latency.  0 disables probing (and the two triggers below with it).
+  double probe_period = 0.0;
+  /// Oracle-free drift trigger: re-lock when the health monitor's worst
+  /// *estimated* |detuning| exceeds this threshold [K].  Uses only
+  /// sensor-channel data (probe transmission inverted through the ring
+  /// model) — the deployable counterpart of drift_threshold.  0 disables.
+  double estimated_drift_threshold = 0.0;
+  /// Re-lock when a health anomaly alert fired since the last
+  /// recalibration (rising-edge change detection on the probe channels).
+  bool recalibrate_on_anomaly = false;
 
   static constexpr double kNoTimeout =
       std::numeric_limits<double>::infinity();

@@ -59,6 +59,8 @@ struct TenantCost {
   double energy_joules = 0.0;    ///< share of fleet execution energy [J]
   std::size_t recalibrations = 0;        ///< fleet row only
   double recalibration_seconds = 0.0;    ///< fleet row only [s]
+  std::size_t probes = 0;                ///< fleet row only: health sweeps
+  double probe_seconds = 0.0;            ///< fleet row only [s]
 };
 
 /// Per-objective summary of one run's SLO evaluation (serve/slo.hpp).
@@ -117,6 +119,26 @@ struct ServeReport {
   double recalibration_time = 0.0;
   /// Worst per-batch fleet detuning seen during the run [K].
   double max_abs_detuning = 0.0;
+
+  // --- fleet health (probing policies only) ---------------------------------
+  /// Sensor sweeps the run performed and their summed modeled latency [s]
+  /// (derived from the fleet attribution row, so probe accounting conserves
+  /// bit-exactly like every other cost).
+  std::size_t probes = 0;
+  double probe_time = 0.0;
+  /// Probe latency as a fraction of the run's makespan — the overhead the
+  /// health bench budgets (<= 2% at the gated operating point).
+  double probe_overhead() const {
+    return makespan > 0.0 ? probe_time / makespan : 0.0;
+  }
+  /// Oracle-measured recalibration trigger lag: for each re-lock, the time
+  /// from a core's |detuning| first crossing the policy threshold to the
+  /// recalibration that cleared it.  Empty unless a threshold trigger
+  /// (oracle or estimated) was active.  Measurement only — the trigger
+  /// path itself never reads the oracle.
+  LatencyStats trigger_lag;
+  /// Health anomaly alerts fired during the run.
+  std::size_t health_alerts = 0;
 
   // --- attribution / SLOs ---------------------------------------------------
   /// Exact per-tenant cost decomposition, sorted by tenant name.  The

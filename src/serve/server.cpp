@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
+#include <string>
 #include <utility>
 
 #include "common/expects.hpp"
@@ -75,6 +77,11 @@ void Server::set_metrics(telemetry::MetricsRegistry* metrics) {
   accelerator_.set_metrics(metrics);
 }
 
+void Server::set_health_config(const fleet::HealthConfig& config) {
+  health_config_ = config;
+  health_.reset();
+}
+
 void Server::add_slo(const SloObjective& objective) {
   for (const SloMonitor& monitor : slos_) {
     expects(monitor.objective().name != objective.name,
@@ -95,6 +102,50 @@ ServeReport Server::run(const std::vector<Request>& requests,
   accelerator_.reset_drift();
   accelerator_.set_trace_time(0.0);
   const double energy_before = accelerator_.fleet_ledger().total_energy();
+
+  // Probing policies sample the fleet health monitor on a modeled-time
+  // cadence; the estimate/anomaly triggers read *it*, never the oracle.
+  const bool probing = policy.probe_period > 0.0;
+  expects(probing || (policy.estimated_drift_threshold == 0.0 &&
+                      !policy.recalibrate_on_anomaly),
+          "estimate/anomaly recalibration triggers need probe_period > 0");
+  if (probing) {
+    if (health_ == nullptr) {
+      // Characterization (probe response curves per core) happens once and
+      // is reused across runs — it is a property of the devices, not of
+      // any run's drift trajectory.
+      health_ = std::make_unique<fleet::FleetHealthMonitor>(accelerator_,
+                                                            health_config_);
+    }
+    health_->reset();
+    health_->set_metrics(metrics_);
+    health_->set_tracer(tracer_);
+    // A period shorter than the sweep's own modeled latency could never
+    // keep up — and would starve dispatch during a drain flush.
+    expects(policy.probe_period >=
+                accelerator_.probe_cost(health_config_.probe_samples).latency,
+            "probe_period must cover the probe sweep latency");
+  }
+  fleet::FleetHealthMonitor* health = probing ? health_.get() : nullptr;
+  double next_probe =
+      probing ? policy.probe_period : std::numeric_limits<double>::infinity();
+
+  // Trigger-lag measurement (reporting only — the triggers themselves never
+  // see these oracle reads): the instant each core's true |detuning| first
+  // crossed the policy's threshold since the last re-lock.
+  const double lag_threshold = policy.estimated_drift_threshold > 0.0
+                                   ? policy.estimated_drift_threshold
+                                   : policy.drift_threshold;
+  std::vector<double> crossed_at(accelerator_.core_count(), -1.0);
+  const auto note_crossings = [&](double t) {
+    if (lag_threshold <= 0.0) return;
+    for (std::size_t i = 0; i < accelerator_.core_count(); ++i) {
+      if (crossed_at[i] < 0.0 &&
+          std::abs(accelerator_.core(i).thermal_detuning()) > lag_threshold) {
+        crossed_at[i] = t;
+      }
+    }
+  };
 
   // --- cost attribution state ---
   // Every joule and second the run charges is attributed to a tenant row
@@ -122,6 +173,7 @@ ServeReport Server::run(const std::vector<Request>& requests,
   telemetry::Histogram wait_hist(hopts);
   telemetry::Histogram service_hist(hopts);
   telemetry::Histogram total_hist(hopts);
+  telemetry::Histogram lag_hist(hopts);
 
   std::size_t next = 0;
   double fleet_free = 0.0;
@@ -181,9 +233,43 @@ ServeReport Server::run(const std::vector<Request>& requests,
       drain = true;
     }
 
+    // Sensor sweeps due at or before the launch instant run first, in the
+    // fleet's idle gap when there is one — feeding the health monitor the
+    // estimates the oracle-free triggers below read.
+    if (health != nullptr && next_probe <= dispatch_at) {
+      const double probe_at = std::max(next_probe, fleet_free);
+      accelerator_.advance_to(probe_at);
+      note_crossings(probe_at);
+      accelerator_.set_trace_time(probe_at);
+      const runtime::BatchCost probe =
+          accelerator_.probe_cost(health->config().probe_samples);
+      health->sample(probe_at);
+      next_probe = probe_at + policy.probe_period;
+      fleet_free = std::max(fleet_free, probe_at + probe.latency);
+      // Probing is fleet overhead no tenant caused: bill the reserved row,
+      // so the report's probe totals conserve like every other cost.
+      TenantCost& fleet_row = cost_row(TenantCost::kFleetTenant);
+      ++fleet_row.probes;
+      fleet_row.probe_seconds += probe.latency;
+      if (tracer_ != nullptr) {
+        tracer_->complete(telemetry::track::kServe, "probe", "serve",
+                          probe_at, probe_at + probe.latency,
+                          {{"samples", health->config().probe_samples},
+                           {"estimate_kelvin", health->max_estimate()}});
+      }
+      if (metrics_ != nullptr) {
+        metrics_->counter("serve_probes_total").inc();
+        metrics_->counter("serve_probe_seconds_total").inc(probe.latency);
+      }
+      // Re-enter the loop: the dispatch instant may have moved past the
+      // sweep, and more probes may be due before it.
+      continue;
+    }
+
     // The fleet drifts up to the launch instant; then the recalibration
     // policy gets a look before the batch commits.
     accelerator_.advance_to(dispatch_at);
+    note_crossings(dispatch_at);
     if (!recalibrated_since_dispatch) {
       const bool periodic_due =
           policy.recalibration_period > 0.0 &&
@@ -191,13 +277,38 @@ ServeReport Server::run(const std::vector<Request>& requests,
       const bool drift_due =
           policy.drift_threshold > 0.0 &&
           accelerator_.max_abs_detuning() > policy.drift_threshold;
-      if (periodic_due || drift_due) {
+      // The oracle-free triggers: both read only the health monitor's
+      // sensor-derived state (probe transmission inverted through the ring
+      // model), never the simulator's ground-truth detuning.
+      const bool estimated_due =
+          policy.estimated_drift_threshold > 0.0 && health != nullptr &&
+          health->max_estimate() > policy.estimated_drift_threshold;
+      const bool anomaly_due = policy.recalibrate_on_anomaly &&
+                               health != nullptr &&
+                               health->alerts_since_recalibration() > 0;
+      if (periodic_due || drift_due || estimated_due || anomaly_due) {
         // Pin the modeled-time cursor so the downtime spans sit exactly in
         // the window the event loop charges for them.
         accelerator_.set_trace_time(dispatch_at);
         const runtime::BatchCost downtime = accelerator_.recalibrate();
         ++report.recalibrations;
         last_recalibration = dispatch_at;
+        // Trigger lag (oracle-measured, reporting only): time from each
+        // core's true threshold crossing to the re-lock that cleared it.
+        for (std::size_t i = 0; i < crossed_at.size(); ++i) {
+          if (crossed_at[i] < 0.0) continue;
+          const double lag = dispatch_at - crossed_at[i];
+          lag_hist.observe(lag);
+          if (metrics_ != nullptr) {
+            metrics_
+                ->histogram("serve_trigger_lag_seconds",
+                            {{"core", std::to_string(i)}},
+                            "threshold-crossing -> re-lock lag [s]", hopts)
+                .observe(lag);
+          }
+          crossed_at[i] = -1.0;
+        }
+        if (health != nullptr) health->on_recalibration(dispatch_at);
         // Recalibration is fleet overhead no tenant caused: its downtime
         // and ledger energy bill to the reserved fleet row.
         {
@@ -450,12 +561,18 @@ ServeReport Server::run(const std::vector<Request>& requests,
   report.energy = 0.0;
   report.service_time = 0.0;
   report.recalibration_time = 0.0;
+  report.probes = 0;
+  report.probe_time = 0.0;
   for (const TenantCost& row : report.tenant_costs) {
     report.busy += row.busy_seconds;
     report.energy += row.energy_joules;
     report.service_time += row.service_seconds;
     report.recalibration_time += row.recalibration_seconds;
+    report.probes += row.probes;
+    report.probe_time += row.probe_seconds;
   }
+  report.trigger_lag = LatencyStats::from_histogram(lag_hist);
+  report.health_alerts = health != nullptr ? health->alerts().size() : 0;
 
   report.slos.reserve(slos_.size());
   for (const SloMonitor& monitor : slos_) {

@@ -1,8 +1,10 @@
 #ifndef PTC_SERVE_SERVER_HPP
 #define PTC_SERVE_SERVER_HPP
 
+#include <memory>
 #include <vector>
 
+#include "fleet/health.hpp"
 #include "runtime/accelerator.hpp"
 #include "serve/batcher.hpp"
 #include "serve/latency_stats.hpp"
@@ -63,6 +65,20 @@ class Server {
   void clear_slos();
   const std::vector<SloMonitor>& slos() const { return slos_; }
 
+  /// Configuration for the fleet health monitor probing policies create
+  /// (estimator curve resolution, anomaly detection, probe cost).  Drops
+  /// the cached monitor; the next probing run re-characterizes.
+  void set_health_config(const fleet::HealthConfig& config);
+  const fleet::HealthConfig& health_config() const { return health_config_; }
+
+  /// The fleet health monitor, created lazily by the first run whose
+  /// policy probes (BatchPolicy::probe_period > 0) and reused across runs
+  /// (characterization curves are device properties).  nullptr before any
+  /// probing run; afterwards its estimators / alerts / time-series store
+  /// reflect the most recent run — the operator console's HEALth source.
+  fleet::FleetHealthMonitor* health() { return health_.get(); }
+  const fleet::FleetHealthMonitor* health() const { return health_.get(); }
+
   /// Serves `requests` (sorted by arrival — LoadGenerator output
   /// qualifies) under `policy` and returns the full report.  Arrivals at
   /// exactly the dispatch instant join the closing batch.  Once the
@@ -73,7 +89,15 @@ class Server {
   /// accelerator's drift clock to every dispatch instant and applies the
   /// policy's recalibration triggers (periodic and/or detuning-threshold)
   /// before launching the batch; recalibration downtime pushes the fleet's
-  /// free time forward, so arrivals during a re-lock simply queue.  Every
+  /// free time forward, so arrivals during a re-lock simply queue.
+  ///
+  /// A probing policy (probe_period > 0) additionally runs one sensor
+  /// sweep per period through the fleet health monitor — pilot-tone probe
+  /// readings, estimator updates, anomaly detection — billed through
+  /// Accelerator::probe_cost to the fleet attribution row, and applies the
+  /// oracle-free triggers (estimated_drift_threshold /
+  /// recalibrate_on_anomaly) from the *estimates*, never from the
+  /// simulator's ground-truth detuning.  Every
   /// batch is also scored against the float-reference logits, giving the
   /// report its accuracy / drift / recalibration accounting.
   ///
@@ -96,6 +120,8 @@ class Server {
   telemetry::Tracer* tracer_ = nullptr;
   telemetry::MetricsRegistry* metrics_ = nullptr;
   std::vector<SloMonitor> slos_;
+  fleet::HealthConfig health_config_{};
+  std::unique_ptr<fleet::FleetHealthMonitor> health_;
 };
 
 }  // namespace ptc::serve

@@ -138,7 +138,8 @@ MetricsRegistry::Entry& MetricsRegistry::entry_of_kind(const std::string& name,
       entry.counter != nullptr || !entry.counter_children.empty();
   const bool is_gauge =
       entry.gauge != nullptr || !entry.gauge_children.empty();
-  const bool is_histogram = entry.histogram != nullptr;
+  const bool is_histogram =
+      entry.histogram != nullptr || !entry.histogram_children.empty();
   const std::string_view want(kind);
   expects((want == "counter" || !is_counter) &&
               (want == "gauge" || !is_gauge) &&
@@ -205,6 +206,21 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return *entry.histogram;
 }
 
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const LabelSet& labels,
+                                      const std::string& help,
+                                      const HistogramOptions& options) {
+  Entry& entry = entry_of_kind(name, "histogram");
+  LabelSet canonical = canonicalize(labels);
+  auto& child = entry.histogram_children[render_labels(canonical)];
+  if (child.instrument == nullptr) {
+    child.labels = std::move(canonical);
+    child.instrument = std::make_unique<Histogram>(options);
+    if (!help.empty() && entry.help.empty()) entry.help = help;
+  }
+  return *child.instrument;
+}
+
 bool MetricsRegistry::contains(const std::string& name) const {
   return entries_.count(name) > 0;
 }
@@ -215,7 +231,8 @@ bool MetricsRegistry::contains(const std::string& name,
   if (it == entries_.end()) return false;
   const std::string key = render_labels(canonicalize(labels));
   return it->second.counter_children.count(key) > 0 ||
-         it->second.gauge_children.count(key) > 0;
+         it->second.gauge_children.count(key) > 0 ||
+         it->second.histogram_children.count(key) > 0;
 }
 
 std::vector<LabelSet> MetricsRegistry::label_sets(
@@ -227,6 +244,9 @@ std::vector<LabelSet> MetricsRegistry::label_sets(
     out.push_back(child.labels);
   }
   for (const auto& [key, child] : it->second.gauge_children) {
+    out.push_back(child.labels);
+  }
+  for (const auto& [key, child] : it->second.histogram_children) {
     out.push_back(child.labels);
   }
   return out;
@@ -258,27 +278,47 @@ std::string MetricsRegistry::prometheus_text() const {
         out << name << selector << " "
             << json::format_number(child.instrument->value()) << "\n";
       }
-    } else if (entry.histogram != nullptr) {
-      const Histogram& h = *entry.histogram;
+    } else if (entry.histogram != nullptr ||
+               !entry.histogram_children.empty()) {
       out << "# TYPE " << name << " histogram\n";
       // Cumulative buckets, empty ones elided to keep the exposition small
-      // (the +Inf series always carries the total).
-      std::uint64_t cumulative = h.underflow();
-      if (cumulative > 0) {
-        out << name << "_bucket{le=\""
-            << json::format_number(h.options().min) << "\"} " << cumulative
+      // (the +Inf series always carries the total).  `prefix` carries a
+      // child's labels into every bucket selector (`{core="0",le="..."}`)
+      // and onto its _sum/_count samples.
+      const auto write_histogram = [&out, &name](const Histogram& h,
+                                                 const std::string& prefix) {
+        std::uint64_t cumulative = h.underflow();
+        if (cumulative > 0) {
+          out << name << "_bucket{" << prefix << "le=\""
+              << json::format_number(h.options().min) << "\"} " << cumulative
+              << "\n";
+        }
+        for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+          if (h.bucket(i) == 0) continue;
+          cumulative += h.bucket(i);
+          out << name << "_bucket{" << prefix << "le=\""
+              << json::format_number(h.bucket_upper_edge(i)) << "\"} "
+              << cumulative << "\n";
+        }
+        out << name << "_bucket{" << prefix << "le=\"+Inf\"} " << h.count()
             << "\n";
+        const std::string selector =
+            prefix.empty() ? ""
+                           : "{" + prefix.substr(0, prefix.size() - 1) + "}";
+        out << name << "_sum" << selector << " "
+            << json::format_number(h.sum()) << "\n";
+        out << name << "_count" << selector << " " << h.count() << "\n";
+      };
+      if (entry.histogram != nullptr) {
+        write_histogram(*entry.histogram, "");
       }
-      for (std::size_t i = 0; i < h.bucket_count(); ++i) {
-        if (h.bucket(i) == 0) continue;
-        cumulative += h.bucket(i);
-        out << name << "_bucket{le=\""
-            << json::format_number(h.bucket_upper_edge(i)) << "\"} "
-            << cumulative << "\n";
+      for (const auto& [selector, child] : entry.histogram_children) {
+        // render_labels gives `{k="v",...}`; the bucket prefix is the
+        // interior plus a trailing comma before the `le` label.
+        std::string prefix = selector.substr(1, selector.size() - 2);
+        if (!prefix.empty()) prefix += ",";
+        write_histogram(*child.instrument, prefix);
       }
-      out << name << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
-      out << name << "_sum " << json::format_number(h.sum()) << "\n";
-      out << name << "_count " << h.count() << "\n";
     }
   }
   return out.str();
@@ -348,17 +388,36 @@ std::string MetricsRegistry::to_json() const {
       }
       gauges << "}";
       first_g = false;
-    } else if (entry.histogram != nullptr) {
-      const Histogram& h = *entry.histogram;
-      histograms << (first_h ? "" : ", ") << json::quote(name) << ": {"
-                 << "\"count\": " << h.count()
-                 << ", \"sum\": " << json::format_number(h.sum())
-                 << ", \"min\": " << json::format_number(h.min_value())
-                 << ", \"max\": " << json::format_number(h.max_value())
-                 << ", \"p50\": " << json::format_number(h.percentile(50.0))
-                 << ", \"p95\": " << json::format_number(h.percentile(95.0))
-                 << ", \"p99\": " << json::format_number(h.percentile(99.0))
-                 << "}";
+    } else if (entry.histogram != nullptr ||
+               !entry.histogram_children.empty()) {
+      const auto summary_json = [](const Histogram& h) {
+        std::string out = "\"count\": " + std::to_string(h.count());
+        out += ", \"sum\": " + json::format_number(h.sum());
+        out += ", \"min\": " + json::format_number(h.min_value());
+        out += ", \"max\": " + json::format_number(h.max_value());
+        out += ", \"p50\": " + json::format_number(h.percentile(50.0));
+        out += ", \"p95\": " + json::format_number(h.percentile(95.0));
+        out += ", \"p99\": " + json::format_number(h.percentile(99.0));
+        return out;
+      };
+      histograms << (first_h ? "" : ", ") << json::quote(name) << ": {";
+      bool wrote = false;
+      if (entry.histogram != nullptr) {
+        histograms << summary_json(*entry.histogram);
+        wrote = true;
+      }
+      if (!entry.histogram_children.empty()) {
+        histograms << (wrote ? ", " : "") << "\"series\": [";
+        bool first_s = true;
+        for (const auto& [selector, child] : entry.histogram_children) {
+          histograms << (first_s ? "" : ", ") << "{\"labels\": "
+                     << labels_json(child.labels) << ", "
+                     << summary_json(*child.instrument) << "}";
+          first_s = false;
+        }
+        histograms << "]";
+      }
+      histograms << "}";
       first_h = false;
     }
   }

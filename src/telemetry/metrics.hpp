@@ -15,10 +15,11 @@
 /// scattered tallies (AcceleratorStats fields, ad-hoc bench counters) with
 /// one namespace any layer can publish into.
 ///
-/// Counters and gauges also come in *labeled families*: the same metric
-/// name fanned out across label sets (`serve_tenant_energy_joules_total
-/// {tenant="mobile",model="cnn"}`), which is what lets the serving layer
-/// attribute cost per tenant x model and the fleet per core without
+/// Counters, gauges, and histograms also come in *labeled families*: the
+/// same metric name fanned out across label sets
+/// (`serve_tenant_energy_joules_total{tenant="mobile",model="cnn"}`,
+/// `serve_trigger_lag_seconds{core="3"}`), which is what lets the serving
+/// layer attribute cost per tenant x model and the fleet per core without
 /// inventing one metric name per dimension value.
 ///
 /// Determinism contract: metrics are only ever mutated from the simulation's
@@ -140,6 +141,11 @@ class MetricsRegistry {
                    const std::string& help = "");
   Gauge& gauge(const std::string& name, const LabelSet& labels,
                const std::string& help = "");
+  /// Labeled histogram family (e.g. per-core trigger-lag distributions).
+  /// Options are fixed by the first child created under `name`.
+  Histogram& histogram(const std::string& name, const LabelSet& labels,
+                       const std::string& help = "",
+                       const HistogramOptions& options = {});
 
   /// True when `name` exists as any instrument kind.
   bool contains(const std::string& name) const;
@@ -174,6 +180,7 @@ class MetricsRegistry {
     /// Labeled children keyed by render_labels() of the canonical set.
     std::map<std::string, Child<Counter>> counter_children;
     std::map<std::string, Child<Gauge>> gauge_children;
+    std::map<std::string, Child<Histogram>> histogram_children;
   };
 
   Entry& entry_of_kind(const std::string& name, const char* kind);

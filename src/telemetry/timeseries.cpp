@@ -1,0 +1,159 @@
+#include "telemetry/timeseries.hpp"
+
+#include <algorithm>
+
+#include "common/expects.hpp"
+#include "common/json.hpp"
+
+namespace ptc::telemetry {
+
+TimeSeries::TimeSeries(const TimeSeriesOptions& options) : options_(options) {
+  expects(options_.fold >= 2, "time-series fold must collapse >= 2 samples");
+  expects(options_.capacity >= options_.fold,
+          "time-series tier capacity must hold at least one fold group");
+  expects(options_.tiers >= 1, "time series needs at least one tier");
+  tiers_.resize(options_.tiers);
+}
+
+void TimeSeries::append(double t, double v) {
+  expects(appended_ == 0 || t >= last_time_,
+          "time-series timestamps must be nondecreasing");
+  ++appended_;
+  last_time_ = t;
+  last_value_ = v;
+  SeriesSample sample;
+  sample.t0 = t;
+  sample.t1 = t;
+  sample.min = v;
+  sample.max = v;
+  sample.mean = v;
+  sample.count = 1;
+  push_tier(0, sample);
+}
+
+void TimeSeries::push_tier(std::size_t k, const SeriesSample& sample) {
+  std::deque<SeriesSample>& ring = tiers_[k];
+  if (ring.size() == options_.capacity) {
+    if (k + 1 == tiers_.size()) {
+      // Coarsest tier: the oldest aggregate falls off the end of history.
+      dropped_ += ring.front().count;
+      ring.pop_front();
+    } else {
+      // Fold the oldest `fold` samples into one aggregate for the next
+      // tier: exact min / max, count-weighted mean (sum carried exactly).
+      SeriesSample fold;
+      fold.t0 = ring.front().t0;
+      double sum = 0.0;
+      for (std::size_t i = 0; i < options_.fold; ++i) {
+        const SeriesSample& s = ring.front();
+        if (i == 0) {
+          fold.min = s.min;
+          fold.max = s.max;
+        } else {
+          fold.min = std::min(fold.min, s.min);
+          fold.max = std::max(fold.max, s.max);
+        }
+        fold.t1 = s.t1;
+        sum += s.mean * static_cast<double>(s.count);
+        fold.count += s.count;
+        ring.pop_front();
+      }
+      fold.mean = sum / static_cast<double>(fold.count);
+      push_tier(k + 1, fold);
+    }
+  }
+  ring.push_back(sample);
+}
+
+const std::deque<SeriesSample>& TimeSeries::tier(std::size_t k) const {
+  expects(k < tiers_.size(), "time-series tier index out of range");
+  return tiers_[k];
+}
+
+SeriesSample TimeSeries::retained_summary() const {
+  SeriesSample out;
+  double sum = 0.0;
+  for (const auto& ring : tiers_) {
+    for (const SeriesSample& s : ring) {
+      if (out.count == 0) {
+        out.t0 = s.t0;
+        out.t1 = s.t1;
+        out.min = s.min;
+        out.max = s.max;
+      } else {
+        out.t0 = std::min(out.t0, s.t0);
+        out.t1 = std::max(out.t1, s.t1);
+        out.min = std::min(out.min, s.min);
+        out.max = std::max(out.max, s.max);
+      }
+      sum += s.mean * static_cast<double>(s.count);
+      out.count += s.count;
+    }
+  }
+  if (out.count > 0) out.mean = sum / static_cast<double>(out.count);
+  return out;
+}
+
+TimeSeriesStore::TimeSeriesStore(const TimeSeriesOptions& defaults)
+    : defaults_(defaults) {}
+
+TimeSeries& TimeSeriesStore::channel(const std::string& name) {
+  return channel(name, defaults_);
+}
+
+TimeSeries& TimeSeriesStore::channel(const std::string& name,
+                                     const TimeSeriesOptions& options) {
+  auto it = channels_.find(name);
+  if (it == channels_.end()) {
+    it = channels_.emplace(name, TimeSeries(options)).first;
+  }
+  return it->second;
+}
+
+bool TimeSeriesStore::contains(const std::string& name) const {
+  return channels_.find(name) != channels_.end();
+}
+
+std::vector<std::string> TimeSeriesStore::names() const {
+  std::vector<std::string> out;
+  out.reserve(channels_.size());
+  for (const auto& [name, series] : channels_) out.push_back(name);
+  return out;
+}
+
+std::string TimeSeriesStore::to_json() const {
+  std::string out = "{\"channels\":{";
+  bool first_channel = true;
+  for (const auto& [name, series] : channels_) {
+    if (!first_channel) out += ',';
+    first_channel = false;
+    out += json::quote(name);
+    out += ":{\"appended\":" + json::format_number(
+               static_cast<double>(series.appended()));
+    out += ",\"dropped\":" + json::format_number(
+               static_cast<double>(series.dropped()));
+    out += ",\"tiers\":[";
+    for (std::size_t k = 0; k < series.tier_count(); ++k) {
+      if (k != 0) out += ',';
+      out += '[';
+      bool first_sample = true;
+      for (const SeriesSample& s : series.tier(k)) {
+        if (!first_sample) out += ',';
+        first_sample = false;
+        out += "{\"t0\":" + json::format_number(s.t0);
+        out += ",\"t1\":" + json::format_number(s.t1);
+        out += ",\"min\":" + json::format_number(s.min);
+        out += ",\"max\":" + json::format_number(s.max);
+        out += ",\"mean\":" + json::format_number(s.mean);
+        out += ",\"count\":" +
+               json::format_number(static_cast<double>(s.count)) + "}";
+      }
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace ptc::telemetry

@@ -1,0 +1,121 @@
+#ifndef PTC_TELEMETRY_TIMESERIES_HPP
+#define PTC_TELEMETRY_TIMESERIES_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+/// Ring-buffer time series on modeled hardware time, with tiered
+/// downsampling: each named channel keeps a fixed-capacity ring of raw
+/// samples, and when the ring fills, the oldest `fold` samples collapse
+/// into one aggregate that cascades into the next (coarser) tier.  Aggregates
+/// retain the *exact* min / max and the count-weighted mean of the samples
+/// they absorbed, so the store answers "what was the worst probe reading in
+/// the last millisecond" without unbounded memory — O(tiers * capacity) per
+/// channel however long the run.
+///
+/// This is the fleet-health companion of MetricsRegistry: metrics hold the
+/// current value and lifetime tallies, the time-series store holds the
+/// recent *history* the estimators and the operator console read.
+///
+/// Determinism contract: appends happen from the simulation's event loop
+/// with modeled timestamps, folding is a pure function of the appended
+/// (t, v) sequence, and JSON export iterates channels in sorted-name order
+/// — bit-stable across runs and host thread counts.
+namespace ptc::telemetry {
+
+/// One retained point: a raw sample (count == 1, t0 == t1, min == max ==
+/// mean) or a fold of `count` older samples spanning [t0, t1].
+struct SeriesSample {
+  double t0 = 0.0;    ///< earliest absorbed timestamp [modeled s]
+  double t1 = 0.0;    ///< latest absorbed timestamp [modeled s]
+  double min = 0.0;   ///< exact minimum over absorbed samples
+  double max = 0.0;   ///< exact maximum over absorbed samples
+  double mean = 0.0;  ///< count-weighted mean over absorbed samples
+  std::uint64_t count = 0;  ///< raw samples absorbed
+};
+
+struct TimeSeriesOptions {
+  std::size_t capacity = 64;  ///< samples per tier ring (>= fold)
+  std::size_t fold = 4;       ///< samples collapsed per cascade step (>= 2)
+  std::size_t tiers = 3;      ///< tier count; the last tier drops its oldest
+};
+
+/// One channel: `tiers` rings of increasing coarseness.  Tier 0 holds raw
+/// samples; tier k holds folds of fold^k raw samples each.  Only the last
+/// tier ever discards data (tracked by dropped()).
+class TimeSeries {
+ public:
+  explicit TimeSeries(const TimeSeriesOptions& options = {});
+
+  /// Appends one raw sample.  Timestamps must be nondecreasing.
+  void append(double t, double v);
+
+  const TimeSeriesOptions& options() const { return options_; }
+  /// Raw samples appended over the channel's lifetime.
+  std::uint64_t appended() const { return appended_; }
+  /// Raw samples that have fallen off the last tier.
+  std::uint64_t dropped() const { return dropped_; }
+
+  std::size_t tier_count() const { return tiers_.size(); }
+  /// Tier `k` oldest-first (k = 0 is the raw ring).
+  const std::deque<SeriesSample>& tier(std::size_t k) const;
+
+  /// Latest raw sample value (0 before any append).
+  double last_value() const { return last_value_; }
+  double last_time() const { return last_time_; }
+
+  /// Exact min / max / count-weighted mean over every *retained* sample,
+  /// newest tiers first — what the console's health summary quotes.
+  SeriesSample retained_summary() const;
+
+ private:
+  /// Pushes `sample` into tier `k`, folding the tier's oldest samples into
+  /// tier k + 1 when the ring is full (the last tier drops instead).
+  void push_tier(std::size_t k, const SeriesSample& sample);
+
+  TimeSeriesOptions options_;
+  std::vector<std::deque<SeriesSample>> tiers_;
+  std::uint64_t appended_ = 0;
+  std::uint64_t dropped_ = 0;
+  double last_value_ = 0.0;
+  double last_time_ = 0.0;
+};
+
+/// Named channels, created on first use (stable references).  The fleet
+/// health monitor owns one per run (fleet::FleetHealthMonitor::store).
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(const TimeSeriesOptions& defaults = {});
+
+  /// Channel accessor; creates with the store defaults on first use.
+  TimeSeries& channel(const std::string& name);
+  /// Creates (or fetches) a channel with explicit options.  Options are
+  /// fixed at creation; a later mismatch is the caller's error.
+  TimeSeries& channel(const std::string& name,
+                      const TimeSeriesOptions& options);
+
+  bool contains(const std::string& name) const;
+  std::size_t size() const { return channels_.size(); }
+  /// Channel names in sorted order.
+  std::vector<std::string> names() const;
+
+  /// Drops every channel (fresh run).
+  void clear() { channels_.clear(); }
+
+  /// JSON export: {"channels": {name: {"appended": n, "dropped": n,
+  /// "tiers": [[{t0,t1,min,max,mean,count}, ...], ...]}}} in sorted-name
+  /// order, numbers via json::format_number — byte-stable.
+  std::string to_json() const;
+
+ private:
+  TimeSeriesOptions defaults_;
+  std::map<std::string, TimeSeries> channels_;
+};
+
+}  // namespace ptc::telemetry
+
+#endif  // PTC_TELEMETRY_TIMESERIES_HPP

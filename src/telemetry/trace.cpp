@@ -220,10 +220,13 @@ std::vector<std::string> lint_chrome_trace(const std::string& json_text) {
     return problems;
   }
 
-  // Collect complete spans per (pid, tid) and async begin/end tallies per
-  // (category, id).
+  // Collect complete spans per (pid, tid), async begin/end tallies per
+  // (category, id), and the last-seen timestamp of every counter track per
+  // (pid, tid, name).
   std::map<std::pair<double, double>, std::vector<Span>> tracks;
   std::map<std::pair<std::string, std::string>, std::pair<int, int>> async_events;
+  std::map<std::pair<std::pair<double, double>, std::string>, double>
+      counter_last;
   std::size_t index = 0;
   for (const json::Value& event : doc.at("traceEvents").as_array()) {
     const std::string where = "event " + std::to_string(index++);
@@ -273,6 +276,47 @@ std::vector<std::string> lint_chrome_trace(const std::string& json_text) {
       auto& tally = async_events[{cat, id}];
       if (ph == "b") ++tally.first;
       else ++tally.second;
+    } else if (ph == "C") {
+      // Counter samples describe one monotone modeled-time series per
+      // (pid, tid, name): a sample behind its predecessor means some code
+      // path emitted with a stale clock.
+      const double pid =
+          event.contains("pid") ? event.at("pid").as_number() : 0.0;
+      const double tid =
+          event.contains("tid") ? event.at("tid").as_number() : 0.0;
+      const std::string& name = event.at("name").as_string();
+      const double ts = event.at("ts").as_number();
+      auto [it, inserted] =
+          counter_last.try_emplace({{pid, tid}, name}, ts);
+      if (!inserted) {
+        if (ts < it->second) {
+          std::ostringstream msg;
+          msg << where << ": counter \"" << name << "\" on track (" << pid
+              << ", " << tid << ") goes back in time (" << ts << " after "
+              << it->second << ")";
+          problems.push_back(msg.str());
+        }
+        it->second = std::max(it->second, ts);
+      }
+    } else if (ph == "i" &&
+               event.at("name").as_string() == "health_alert") {
+      // Health-alert instants have a consumer-facing arg contract: alert
+      // routing keys on the string "slo" label and the numeric "core"
+      // index (fleet/health.cpp emits them; dashboards join on them).
+      const json::Value* args =
+          event.contains("args") && event.at("args").is_object()
+              ? &event.at("args")
+              : nullptr;
+      if (args == nullptr || !args->contains("slo") ||
+          !args->at("slo").is_string()) {
+        problems.push_back(where +
+                           ": health_alert missing string \"slo\" arg");
+      }
+      if (args == nullptr || !args->contains("core") ||
+          !args->at("core").is_number()) {
+        problems.push_back(where +
+                           ": health_alert missing numeric \"core\" arg");
+      }
     }
   }
 

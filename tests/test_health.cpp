@@ -1,0 +1,397 @@
+// Fleet health (fleet/health.hpp): the drift estimator inverts pilot-tone
+// probe transmission back to kelvin within a pinned tolerance of the
+// simulator's oracle, anomaly detection fires on rising edges only, and the
+// serving loop's estimated_drift_threshold trigger closes the
+// recalibration loop oracle-free — bit-identically on any host thread
+// count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/tensor_core.hpp"
+#include "fleet/health.hpp"
+#include "nn/mlp.hpp"
+#include "runtime/accelerator.hpp"
+#include "serve/load_generator.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/server.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace {
+
+using namespace ptc;
+using fleet::AnomalyConfig;
+using fleet::AnomalyDetector;
+using fleet::DriftEstimator;
+using fleet::DriftEstimatorConfig;
+using fleet::FleetHealthMonitor;
+using fleet::HealthConfig;
+
+// ---------------------------------------------------------------------------
+// DriftEstimator
+// ---------------------------------------------------------------------------
+
+TEST(DriftEstimator, InvertsInterpolatesAndClampsOnTheEnvelope) {
+  // The flat point (2 -> 3.0 not above 3.0) collapses out of the envelope.
+  DriftEstimator estimator({0.0, 1.0, 2.0, 3.0}, {1.0, 3.0, 3.0, 7.0});
+  EXPECT_EQ(estimator.curve_kelvin().size(), 3u);
+  EXPECT_DOUBLE_EQ(estimator.invert(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(estimator.invert(2.0), 0.5);   // midway on [1, 3]
+  EXPECT_DOUBLE_EQ(estimator.invert(5.0), 2.0);   // midway on [3, 7] -> [1, 3]
+  EXPECT_DOUBLE_EQ(estimator.invert(0.5), 0.0);   // clamps below
+  EXPECT_DOUBLE_EQ(estimator.invert(99.0), 3.0);  // clamps above
+}
+
+TEST(DriftEstimator, EwmaSmoothsAndSlopeFitsTheTrend) {
+  DriftEstimatorConfig config;
+  config.ewma_alpha = 0.5;
+  config.slope_window = 4;
+  DriftEstimator estimator({0.0, 1.0}, {1.0, 2.0}, config);
+  estimator.observe(0.0, 1.2);  // raw 0.2; first observation seeds the EWMA
+  EXPECT_DOUBLE_EQ(estimator.raw(), 0.2);
+  EXPECT_DOUBLE_EQ(estimator.estimate(), 0.2);
+  estimator.observe(1.0, 1.6);  // raw 0.6 -> EWMA 0.4
+  EXPECT_DOUBLE_EQ(estimator.estimate(), 0.4);
+  // A linear ratio ramp gives a positive, roughly constant slope.
+  for (int i = 2; i < 8; ++i) {
+    estimator.observe(static_cast<double>(i), 1.0 + 0.1 * i);
+  }
+  EXPECT_GT(estimator.slope(), 0.0);
+  estimator.reset();
+  EXPECT_EQ(estimator.estimate(), 0.0);
+  EXPECT_EQ(estimator.observations(), 0u);
+}
+
+TEST(DriftEstimator, RejectsBadCurvesAndConfigs) {
+  EXPECT_THROW(DriftEstimator({0.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(DriftEstimator({0.0, 1.0}, {1.0, 1.0}),
+               std::invalid_argument);  // flat curve
+  EXPECT_THROW(DriftEstimator({1.0, 0.0}, {1.0, 2.0}),
+               std::invalid_argument);  // kelvin not increasing
+  DriftEstimatorConfig bad;
+  bad.ewma_alpha = 0.0;
+  EXPECT_THROW(DriftEstimator({0.0, 1.0}, {1.0, 2.0}, bad),
+               std::invalid_argument);
+}
+
+TEST(DriftEstimator, CharacterizedCurveInvertsTheLiveProbeNearTheOracle) {
+  core::TensorCoreConfig config;
+  config.variation.seed = 11;
+  core::TensorCore core(config);
+  DriftEstimator estimator = DriftEstimator::characterize(core, 2.0, 65);
+
+  // probe_transmission reads 1 when locked and rises with |detuning| in
+  // both directions.
+  EXPECT_DOUBLE_EQ(core.probe_transmission(), 1.0);
+  double previous = 1.0;
+  for (double k = 0.1; k <= 0.5; k += 0.1) {
+    core.set_thermal_detuning(k);
+    const double ratio = core.probe_transmission();
+    EXPECT_GT(ratio, previous);
+    previous = ratio;
+  }
+
+  // Pinned tolerance: inverting the live reading recovers |K| within 10%
+  // (the residual is the averaged heating/cooling branch asymmetry).
+  for (double k : {0.15, 0.3, 0.6, 1.2, -0.15, -0.3, -0.6, -1.2}) {
+    core.set_thermal_detuning(k);
+    const double estimate = estimator.invert(core.probe_transmission());
+    EXPECT_NEAR(estimate, std::abs(k), 0.1 * std::abs(k))
+        << "at oracle detuning " << k;
+  }
+  core.set_thermal_detuning(0.0);
+}
+
+// ---------------------------------------------------------------------------
+// AnomalyDetector
+// ---------------------------------------------------------------------------
+
+AnomalyConfig zscore_config() {
+  AnomalyConfig config;
+  config.kind = AnomalyConfig::Kind::kZScore;
+  config.window = 16;
+  config.min_samples = 4;
+  config.threshold = 4.0;
+  return config;
+}
+
+TEST(AnomalyDetector, ZScoreFiresOnRisingEdgeOnly) {
+  AnomalyDetector detector(zscore_config());
+  // Warm-up: a gently varying baseline (nonzero variance).
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(detector.observe(i, 1.0 + 0.01 * (i % 2)));
+  }
+  // Step change: fires exactly once, then holds anomalous without refiring.
+  EXPECT_TRUE(detector.observe(8.0, 5.0));
+  EXPECT_TRUE(detector.anomalous());
+  EXPECT_GE(detector.score(), 4.0);
+  EXPECT_FALSE(detector.observe(9.0, 5.0));
+  EXPECT_EQ(detector.alarms(), 1u);
+  detector.reset();
+  EXPECT_FALSE(detector.anomalous());
+  EXPECT_EQ(detector.alarms(), 0u);
+}
+
+TEST(AnomalyDetector, ZScoreStaysSilentBeforeMinSamples) {
+  AnomalyDetector detector(zscore_config());
+  EXPECT_FALSE(detector.observe(0.0, 0.0));
+  EXPECT_FALSE(detector.observe(1.0, 1e9));  // huge, but still warming up
+  EXPECT_EQ(detector.score(), 0.0);
+}
+
+TEST(AnomalyDetector, CusumAccumulatesSlowDriftAndResetsOnAlarm) {
+  AnomalyConfig config;
+  config.kind = AnomalyConfig::Kind::kCusum;
+  config.window = 8;        // baseline freezes after 8 samples
+  config.min_samples = 8;
+  config.threshold = 5.0;   // decision interval h [sigmas]
+  config.slack = 0.5;       // absorbs sub-slack drift
+  AnomalyDetector detector(config);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(detector.observe(i, 1.0 + 0.01 * (i % 2)));
+  }
+  // A per-sample shift below the slack never accumulates.
+  for (int i = 8; i < 40; ++i) {
+    EXPECT_FALSE(detector.observe(i, 1.005));
+  }
+  // A sustained shift of a few sigma accumulates across samples and fires
+  // even though no single sample is extreme.
+  bool fired = false;
+  for (int i = 40; i < 60 && !fired; ++i) {
+    fired = detector.observe(i, 1.03);
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(detector.alarms(), 1u);
+  // The decision sums reset on the alarm: the next sample does not refire.
+  EXPECT_FALSE(detector.observe(60.0, 1.0));
+}
+
+// ---------------------------------------------------------------------------
+// FleetHealthMonitor
+// ---------------------------------------------------------------------------
+
+runtime::AcceleratorConfig fleet_config(std::size_t threads) {
+  runtime::AcceleratorConfig config;
+  config.cores = 4;
+  config.threads = threads;
+  config.variation.seed = 42;
+  config.drift.sigma = 1.0;
+  config.drift.tau = 4e-6;
+  return config;
+}
+
+TEST(FleetHealthMonitor, SamplesChannelsAndTracksTheOracleWithinTolerance) {
+  runtime::AcceleratorConfig config = fleet_config(1);
+  config.drift.sigma = 0.0;  // detunings set manually below
+  runtime::Accelerator accelerator(config);
+  HealthConfig health_config;
+  FleetHealthMonitor monitor(accelerator, health_config);
+  ASSERT_EQ(monitor.core_count(), 4u);
+
+  const std::vector<double> detunings = {0.05, -0.2, 0.4, 0.0};
+  for (std::size_t i = 0; i < detunings.size(); ++i) {
+    accelerator.core(i).set_thermal_detuning(detunings[i]);
+  }
+  monitor.sample(1e-9);
+  EXPECT_EQ(monitor.samples_taken(), 1u);
+  EXPECT_DOUBLE_EQ(monitor.last_sample_time(), 1e-9);
+
+  for (std::size_t i = 0; i < detunings.size(); ++i) {
+    const double oracle = std::abs(detunings[i]);
+    // One sample: the EWMA seeds at the raw inversion.  Pinned tolerance
+    // 10% relative + 0.04 K absolute — transmission is quadratic in the
+    // detuning near lock, so inversion resolution floors out near zero.
+    EXPECT_NEAR(monitor.estimate(i), oracle, 0.1 * oracle + 0.04)
+        << "core " << i;
+  }
+  EXPECT_NEAR(monitor.max_estimate(), 0.4, 0.05);
+
+  // Every sensor channel exists, per core.
+  for (const char* sensor :
+       {"probe_transmission", "detuning_estimate_kelvin", "heater_duty",
+        "calibration_epoch", "psram_bit_flips", "psram_max_cell_flips",
+        "adc_saturation_rate"}) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      const std::string name =
+          "core" + std::to_string(i) + "/" + sensor;
+      EXPECT_TRUE(monitor.store().contains(name)) << name;
+    }
+  }
+
+  // on_recalibration clears the run state but keeps the curves.
+  monitor.on_recalibration(2e-9);
+  EXPECT_EQ(monitor.estimate(2), 0.0);
+  EXPECT_EQ(monitor.alerts_since_recalibration(), 0u);
+  EXPECT_GE(monitor.estimator(2).curve_kelvin().size(), 2u);
+}
+
+TEST(FleetHealthMonitor, PublishesGaugesCountersAndAlertSchema) {
+  runtime::AcceleratorConfig config = fleet_config(1);
+  config.drift.sigma = 0.0;
+  runtime::Accelerator accelerator(config);
+  HealthConfig health_config;
+  health_config.anomaly.min_samples = 2;
+  health_config.anomaly.window = 8;
+  FleetHealthMonitor monitor(accelerator, health_config);
+  telemetry::MetricsRegistry metrics;
+  telemetry::Tracer tracer;
+  monitor.set_metrics(&metrics);
+  monitor.set_tracer(&tracer);
+
+  // A flat baseline, then a step on core 1's probe channel -> one alert.
+  for (int i = 0; i < 4; ++i) {
+    monitor.sample(1e-9 * (i + 1));
+  }
+  accelerator.core(1).set_thermal_detuning(1.5);
+  monitor.sample(5e-9);
+  ASSERT_EQ(monitor.alerts().size(), 1u);
+  EXPECT_EQ(monitor.alerts()[0].core, 1u);
+  EXPECT_EQ(monitor.alerts()[0].name, "core1-probe-anomaly");
+  EXPECT_EQ(monitor.alerts_since_recalibration(), 1u);
+
+  EXPECT_TRUE(metrics.contains("fleet_core_detuning_estimate",
+                               {{"core", "1"}}));
+  EXPECT_TRUE(metrics.contains("fleet_core_probe_transmission",
+                               {{"core", "1"}}));
+  EXPECT_EQ(
+      metrics.counter("slo_alerts_total", {{"slo", "core1-probe-anomaly"}})
+          .value(),
+      1.0);
+
+  // The alert instant passes the trace linter's health_alert arg schema.
+  const std::vector<std::string> problems =
+      telemetry::lint_chrome_trace(tracer.chrome_json());
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+// ---------------------------------------------------------------------------
+// Serving-loop integration: the oracle-free trigger
+// ---------------------------------------------------------------------------
+
+serve::ServeReport run_probing(std::size_t threads,
+                               const serve::BatchPolicy& policy,
+                               std::vector<double>* estimates = nullptr) {
+  runtime::Accelerator accelerator(fleet_config(threads));
+  serve::ModelRegistry registry(accelerator);
+  Rng rng(2025);
+  registry.add("vision", nn::Mlp(32, 24, 10, rng));
+  serve::Server server(registry);
+  const serve::LoadGenerator generator(
+      {{.name = "mobile", .model = "vision", .rate = 100e6, .requests = 96}},
+      7);
+  serve::ServeReport report = server.run(generator.generate(registry), policy);
+  if (estimates != nullptr) {
+    estimates->clear();
+    for (std::size_t i = 0; i < accelerator.core_count(); ++i) {
+      estimates->push_back(server.health()->estimate(i));
+    }
+  }
+  return report;
+}
+
+TEST(ServerHealth, EstimatedTriggerClosesTheLoopOracleFree) {
+  serve::BatchPolicy policy{.max_batch = 8, .max_wait = 25e-9,
+                            .probe_period = 30e-9,
+                            .estimated_drift_threshold = 0.25};
+  const serve::ServeReport report = run_probing(1, policy);
+  EXPECT_GT(report.probes, 0u);
+  EXPECT_GT(report.recalibrations, 0u);
+  EXPECT_GT(report.probe_time, 0.0);
+  EXPECT_LT(report.probe_overhead(), 0.05);
+  // Probe accounting conserves through the fleet attribution row.
+  const serve::TenantCost* fleet_row =
+      report.tenant_cost(serve::TenantCost::kFleetTenant);
+  ASSERT_NE(fleet_row, nullptr);
+  EXPECT_EQ(fleet_row->probes, report.probes);
+  EXPECT_EQ(fleet_row->probe_seconds, report.probe_time);
+  // A threshold trigger was active, so every re-lock logged its lag.
+  EXPECT_GT(report.trigger_lag.count, 0u);
+  EXPECT_GT(report.trigger_lag.max, 0.0);
+}
+
+TEST(ServerHealth, EstimatedTriggerRequiresProbing) {
+  runtime::Accelerator accelerator(fleet_config(1));
+  serve::ModelRegistry registry(accelerator);
+  Rng rng(2025);
+  registry.add("vision", nn::Mlp(32, 24, 10, rng));
+  serve::Server server(registry);
+  const serve::LoadGenerator generator(
+      {{.name = "mobile", .model = "vision", .rate = 100e6, .requests = 4}},
+      7);
+  serve::BatchPolicy policy{.max_batch = 8, .max_wait = 25e-9,
+                            .estimated_drift_threshold = 0.25};
+  EXPECT_THROW(server.run(generator.generate(registry), policy),
+               std::invalid_argument);
+  policy.estimated_drift_threshold = 0.0;
+  policy.recalibrate_on_anomaly = true;
+  EXPECT_THROW(server.run(generator.generate(registry), policy),
+               std::invalid_argument);
+}
+
+TEST(ServerHealth, ProbingRunsAreBitIdenticalAcrossHostThreadCounts) {
+  serve::BatchPolicy policy{.max_batch = 8, .max_wait = 25e-9,
+                            .probe_period = 30e-9,
+                            .estimated_drift_threshold = 0.25};
+  std::vector<double> estimates1;
+  const serve::ServeReport r1 = run_probing(1, policy, &estimates1);
+  for (std::size_t threads : {2u, 8u}) {
+    std::vector<double> estimates;
+    const serve::ServeReport r = run_probing(threads, policy, &estimates);
+    EXPECT_EQ(r.completed, r1.completed) << threads;
+    EXPECT_EQ(r.recalibrations, r1.recalibrations) << threads;
+    EXPECT_EQ(r.probes, r1.probes) << threads;
+    EXPECT_EQ(r.health_alerts, r1.health_alerts) << threads;
+    // Bitwise, not approximate: memcmp on the doubles.
+    EXPECT_EQ(std::memcmp(&r.makespan, &r1.makespan, sizeof(double)), 0)
+        << threads;
+    EXPECT_EQ(std::memcmp(&r.probe_time, &r1.probe_time, sizeof(double)), 0)
+        << threads;
+    ASSERT_EQ(estimates.size(), estimates1.size());
+    EXPECT_EQ(std::memcmp(estimates.data(), estimates1.data(),
+                          estimates.size() * sizeof(double)),
+              0)
+        << threads;
+    EXPECT_EQ(std::memcmp(&r.trigger_lag.mean, &r1.trigger_lag.mean,
+                          sizeof(double)),
+              0)
+        << threads;
+  }
+}
+
+TEST(ServerHealth, EstimateTracksTheOracleThroughADriftingRun) {
+  // After a run with drift, the final per-core estimates sit within a
+  // pinned tolerance of the oracle detuning *at the last probe instant*.
+  serve::BatchPolicy policy{.max_batch = 8, .max_wait = 25e-9,
+                            .probe_period = 30e-9,
+                            .estimated_drift_threshold = 1e9};  // never fires
+  runtime::Accelerator accelerator(fleet_config(1));
+  serve::ModelRegistry registry(accelerator);
+  Rng rng(2025);
+  registry.add("vision", nn::Mlp(32, 24, 10, rng));
+  serve::Server server(registry);
+  const serve::LoadGenerator generator(
+      {{.name = "mobile", .model = "vision", .rate = 100e6, .requests = 96}},
+      7);
+  server.run(generator.generate(registry), policy);
+  const fleet::FleetHealthMonitor* health = server.health();
+  ASSERT_NE(health, nullptr);
+  EXPECT_GT(health->samples_taken(), 10u);
+  // Roll the oracle back to the last probe instant and compare per core.
+  // (advance_to is monotone, so re-advancing to the same instant is a
+  // no-op that leaves the oracle exactly where the probe read it.)
+  accelerator.advance_to(health->last_sample_time());
+  for (std::size_t i = 0; i < accelerator.core_count(); ++i) {
+    const double oracle = std::abs(accelerator.core(i).thermal_detuning());
+    // EWMA smoothing lags a drifting walk: allow 50% relative + 0.05 K.
+    EXPECT_NEAR(health->estimate(i), oracle, 0.5 * oracle + 0.05)
+        << "core " << i;
+  }
+}
+
+}  // namespace

@@ -318,6 +318,67 @@ TEST(MetricsRegistry, LabeledExpositionRoundTripsThroughTextAndJson) {
   EXPECT_DOUBLE_EQ(burn.at("value").as_number(), 1.5);
 }
 
+TEST(MetricsRegistry, LabeledHistogramFamiliesRoundTripThroughTextAndJson) {
+  telemetry::MetricsRegistry registry;
+  telemetry::HistogramOptions options;
+  options.min = 1e-9;
+  options.max = 1e-6;
+  options.buckets_per_decade = 1;
+  registry
+      .histogram("trigger_lag_seconds", {{"core", "0"}},
+                 "threshold-crossing -> re-lock lag [s]", options)
+      .observe(5e-9);
+  registry.histogram("trigger_lag_seconds", {{"core", "0"}}, "", options)
+      .observe(2e-8);
+  registry.histogram("trigger_lag_seconds", {{"core", "1"}}, "", options)
+      .observe(1e-8);
+
+  EXPECT_TRUE(registry.contains("trigger_lag_seconds", {{"core", "0"}}));
+  EXPECT_FALSE(registry.contains("trigger_lag_seconds", {{"core", "7"}}));
+  EXPECT_EQ(registry.label_sets("trigger_lag_seconds").size(), 2u);
+
+  // Prometheus text: per-child bucket series with the child labels merged
+  // into the `le` selector, and labeled _sum/_count samples.
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("# TYPE trigger_lag_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("trigger_lag_seconds_bucket{core=\"0\",le=\"1e-08\"} 1"),
+            std::string::npos);
+  // The decade edge comes out of std::pow, so 1e-7 prints with its ulp.
+  EXPECT_NE(text.find("trigger_lag_seconds_bucket{core=\"0\","
+                      "le=\"1.0000000000000001e-07\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("trigger_lag_seconds_bucket{core=\"0\",le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("trigger_lag_seconds_sum{core=\"0\"} 2.5e-08"),
+            std::string::npos);
+  EXPECT_NE(text.find("trigger_lag_seconds_count{core=\"0\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("trigger_lag_seconds_count{core=\"1\"} 1"),
+            std::string::npos);
+
+  // JSON: a "series" array of {labels, summary} objects per child.
+  const json::Value doc = json::parse(registry.to_json());
+  const json::Value& series =
+      doc.at("histograms").at("trigger_lag_seconds").at("series");
+  ASSERT_EQ(series.as_array().size(), 2u);
+  for (const json::Value& child : series.as_array()) {
+    const std::string core = child.at("labels").at("core").as_string();
+    if (core == "0") {
+      EXPECT_DOUBLE_EQ(child.at("count").as_number(), 2.0);
+      EXPECT_DOUBLE_EQ(child.at("sum").as_number(), 2.5e-8);
+      EXPECT_DOUBLE_EQ(child.at("min").as_number(), 5e-9);
+      EXPECT_DOUBLE_EQ(child.at("max").as_number(), 2e-8);
+    } else {
+      EXPECT_EQ(core, "1");
+      EXPECT_DOUBLE_EQ(child.at("count").as_number(), 1.0);
+    }
+  }
+
+  // Kind collisions still reject across the labeled/plain split.
+  EXPECT_THROW(registry.counter("trigger_lag_seconds"), std::invalid_argument);
+}
+
 // --- JSON parser ------------------------------------------------------------
 
 TEST(Json, ParsesDocumentsAndRejectsGarbage) {
@@ -397,6 +458,54 @@ TEST(Trace, LintCatchesBadNestingAndUnpairedAsync) {
 
   EXPECT_FALSE(telemetry::lint_chrome_trace("not json").empty());
   EXPECT_FALSE(telemetry::lint_chrome_trace("{}").empty());
+}
+
+TEST(Trace, LintCatchesCounterTimeRegression) {
+  // A counter sample behind its predecessor on the same (pid, tid, name)
+  // is a stale-clock bug the linter must flag.
+  const std::string regressing = R"({"traceEvents": [
+    {"ph": "C", "name": "queue_depth", "pid": 1, "tid": 3, "ts": 10, "args": {"value": 1}},
+    {"ph": "C", "name": "queue_depth", "pid": 1, "tid": 3, "ts": 5, "args": {"value": 2}}
+  ]})";
+  const std::vector<std::string> problems =
+      telemetry::lint_chrome_trace(regressing);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("goes back in time"), std::string::npos);
+
+  // Equal timestamps are fine, and the same counter name on another track
+  // is an independent series.
+  const std::string clean = R"({"traceEvents": [
+    {"ph": "C", "name": "queue_depth", "pid": 1, "tid": 3, "ts": 10, "args": {"value": 1}},
+    {"ph": "C", "name": "queue_depth", "pid": 1, "tid": 3, "ts": 10, "args": {"value": 2}},
+    {"ph": "C", "name": "queue_depth", "pid": 1, "tid": 4, "ts": 0, "args": {"value": 0}}
+  ]})";
+  EXPECT_TRUE(telemetry::lint_chrome_trace(clean).empty());
+}
+
+TEST(Trace, LintEnforcesHealthAlertArgSchema) {
+  // health_alert instants must carry a string "slo" and a numeric "core".
+  const std::string missing_args = R"({"traceEvents": [
+    {"ph": "i", "name": "health_alert", "cat": "slo", "pid": 1, "tid": 1, "ts": 3}
+  ]})";
+  EXPECT_EQ(telemetry::lint_chrome_trace(missing_args).size(), 2u);
+
+  const std::string wrong_types = R"({"traceEvents": [
+    {"ph": "i", "name": "health_alert", "cat": "slo", "pid": 1, "tid": 1,
+     "ts": 3, "args": {"slo": 7, "core": "zero"}}
+  ]})";
+  EXPECT_EQ(telemetry::lint_chrome_trace(wrong_types).size(), 2u);
+
+  const std::string conforming = R"({"traceEvents": [
+    {"ph": "i", "name": "health_alert", "cat": "slo", "pid": 1, "tid": 1,
+     "ts": 3, "args": {"slo": "core0-probe-anomaly", "core": 0, "value": 1.5}}
+  ]})";
+  EXPECT_TRUE(telemetry::lint_chrome_trace(conforming).empty());
+
+  // Other instants are exempt from the schema.
+  const std::string other = R"({"traceEvents": [
+    {"ph": "i", "name": "slo_alert", "cat": "slo", "pid": 1, "tid": 1, "ts": 3}
+  ]})";
+  EXPECT_TRUE(telemetry::lint_chrome_trace(other).empty());
 }
 
 TEST(Trace, BitIdenticalAcrossHostThreadCounts) {

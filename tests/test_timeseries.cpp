@@ -1,0 +1,180 @@
+// Ring-buffer time-series store (telemetry/timeseries.hpp): tiered
+// downsampling keeps exact min / max and count-weighted means through every
+// fold, only the coarsest tier ever discards history, and the JSON export
+// is byte-stable — the properties the fleet-health channels rely on.
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace ptc::telemetry {
+namespace {
+
+TimeSeriesOptions tiny(std::size_t capacity, std::size_t fold,
+                       std::size_t tiers) {
+  TimeSeriesOptions options;
+  options.capacity = capacity;
+  options.fold = fold;
+  options.tiers = tiers;
+  return options;
+}
+
+TEST(TimeSeries, RawSamplesRetainExactValuesBelowCapacity) {
+  TimeSeries series(tiny(8, 2, 2));
+  const std::vector<double> values = {3.0, -1.5, 0.25, 7.0};
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    series.append(1e-9 * static_cast<double>(i), values[i]);
+  }
+  ASSERT_EQ(series.tier(0).size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const SeriesSample& s = series.tier(0)[i];
+    EXPECT_EQ(s.min, values[i]);
+    EXPECT_EQ(s.max, values[i]);
+    EXPECT_EQ(s.mean, values[i]);
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_EQ(s.t0, s.t1);
+  }
+  EXPECT_EQ(series.last_value(), 7.0);
+  EXPECT_DOUBLE_EQ(series.last_time(), 3e-9);
+  EXPECT_EQ(series.appended(), 4u);
+  EXPECT_EQ(series.dropped(), 0u);
+}
+
+TEST(TimeSeries, FoldAtCapacityBoundaryIsExact) {
+  // Capacity 4, fold 2: the 5th append folds the two oldest raw samples
+  // into one tier-1 aggregate with their exact min / max / mean.
+  TimeSeries series(tiny(4, 2, 2));
+  const std::vector<double> values = {5.0, 1.0, 2.0, 3.0, 4.0};
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    series.append(static_cast<double>(i), values[i]);
+  }
+  ASSERT_EQ(series.tier(0).size(), 3u);  // {2, 3} remained + the new 4
+  ASSERT_EQ(series.tier(1).size(), 1u);
+  const SeriesSample& fold = series.tier(1).front();
+  EXPECT_EQ(fold.min, 1.0);
+  EXPECT_EQ(fold.max, 5.0);
+  EXPECT_EQ(fold.mean, 3.0);  // (5 + 1) / 2
+  EXPECT_EQ(fold.count, 2u);
+  EXPECT_EQ(fold.t0, 0.0);
+  EXPECT_EQ(fold.t1, 1.0);
+  EXPECT_EQ(series.dropped(), 0u);
+}
+
+TEST(TimeSeries, ExactlyCapacitySamplesDoNotFold) {
+  TimeSeries series(tiny(4, 2, 2));
+  for (int i = 0; i < 4; ++i) series.append(i, i);
+  EXPECT_EQ(series.tier(0).size(), 4u);
+  EXPECT_TRUE(series.tier(1).empty());
+}
+
+TEST(TimeSeries, CascadeReachesCoarserTiersWithSquaredFoldCounts) {
+  // fold = 2 twice over: every tier-2 aggregate absorbs 4 raw samples.
+  TimeSeries series(tiny(2, 2, 3));
+  const std::size_t n = 64;
+  for (std::size_t i = 0; i < n; ++i) {
+    series.append(static_cast<double>(i), static_cast<double>(i));
+  }
+  ASSERT_FALSE(series.tier(2).empty());
+  for (const SeriesSample& s : series.tier(2)) {
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_EQ(s.max - s.min, 3.0);           // 4 consecutive integers
+    EXPECT_EQ(s.mean, s.min + 1.5);          // their exact mean
+    EXPECT_EQ(s.t1 - s.t0, 3.0);
+  }
+}
+
+TEST(TimeSeries, OnlyTheCoarsestTierDropsAndCountsDropped) {
+  // Single tier: a plain ring buffer; drops surface in dropped().
+  TimeSeries series(tiny(4, 2, 1));
+  for (int i = 0; i < 7; ++i) series.append(i, i);
+  EXPECT_EQ(series.tier(0).size(), 4u);
+  EXPECT_EQ(series.appended(), 7u);
+  EXPECT_EQ(series.dropped(), 3u);
+  // The survivors are the newest samples.
+  EXPECT_EQ(series.tier(0).front().min, 3.0);
+  EXPECT_EQ(series.tier(0).back().min, 6.0);
+}
+
+TEST(TimeSeries, RetainedPlusDroppedConservesAppended) {
+  TimeSeries series(tiny(3, 3, 2));
+  for (int i = 0; i < 200; ++i) series.append(i, std::sin(0.1 * i));
+  std::uint64_t retained = 0;
+  for (std::size_t k = 0; k < series.tier_count(); ++k) {
+    for (const SeriesSample& s : series.tier(k)) retained += s.count;
+  }
+  EXPECT_EQ(retained + series.dropped(), series.appended());
+}
+
+TEST(TimeSeries, RetainedSummaryTracksExactExtremesWhileRetained) {
+  TimeSeries series(tiny(4, 2, 3));
+  // A spike early in the stream survives folding with its exact value
+  // until its aggregate falls off the coarsest tier.
+  series.append(0.0, 100.0);
+  for (int i = 1; i <= 10; ++i) series.append(i, 1.0);
+  const SeriesSample summary = series.retained_summary();
+  EXPECT_EQ(summary.max, 100.0);
+  EXPECT_EQ(summary.min, 1.0);
+  EXPECT_EQ(summary.count, 11u);
+  EXPECT_DOUBLE_EQ(summary.mean, (100.0 + 10.0) / 11.0);
+}
+
+TEST(TimeSeries, RejectsDecreasingTimestampsAndBadGeometry) {
+  TimeSeries series(tiny(4, 2, 2));
+  series.append(1.0, 0.0);
+  EXPECT_THROW(series.append(0.5, 0.0), std::invalid_argument);
+  series.append(1.0, 1.0);  // equal timestamps are allowed
+  EXPECT_THROW(TimeSeries(tiny(4, 1, 2)), std::invalid_argument);
+  EXPECT_THROW(TimeSeries(tiny(1, 2, 2)), std::invalid_argument);
+  EXPECT_THROW(TimeSeries(tiny(4, 2, 0)), std::invalid_argument);
+  EXPECT_THROW(series.tier(2), std::invalid_argument);
+}
+
+TEST(TimeSeriesStore, ChannelsAreStableAndSortedByName) {
+  TimeSeriesStore store(tiny(4, 2, 2));
+  TimeSeries& b = store.channel("core1/probe");
+  TimeSeries& a = store.channel("core0/probe");
+  a.append(0.0, 1.0);
+  b.append(0.0, 2.0);
+  EXPECT_TRUE(store.contains("core0/probe"));
+  EXPECT_FALSE(store.contains("core2/probe"));
+  EXPECT_EQ(store.size(), 2u);
+  const std::vector<std::string> names = store.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "core0/probe");
+  EXPECT_EQ(names[1], "core1/probe");
+  // The reference handed out first still points at the same channel.
+  EXPECT_EQ(&store.channel("core1/probe"), &b);
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(TimeSeriesStore, JsonExportIsByteStableAndParses) {
+  TimeSeriesStore store(tiny(2, 2, 2));
+  TimeSeries& ch = store.channel("probe");
+  ch.append(0.0, 1.0);
+  ch.append(1e-9, 3.0);
+  ch.append(2e-9, 5.0);  // folds {1, 3} into tier 1
+  const std::string text = store.to_json();
+  EXPECT_EQ(text,
+            "{\"channels\":{\"probe\":{\"appended\":3,\"dropped\":0,"
+            "\"tiers\":[[{\"t0\":2e-09,\"t1\":2e-09,\"min\":5,\"max\":5,"
+            "\"mean\":5,\"count\":1}],[{\"t0\":0,\"t1\":1e-09,\"min\":1,"
+            "\"max\":3,\"mean\":2,\"count\":2}]]}}}");
+  const json::Value doc = json::parse(text);
+  EXPECT_EQ(doc.at("channels").at("probe").at("appended").as_number(), 3.0);
+  // Identical appends into a fresh store reproduce the bytes exactly.
+  TimeSeriesStore again(tiny(2, 2, 2));
+  TimeSeries& ch2 = again.channel("probe");
+  ch2.append(0.0, 1.0);
+  ch2.append(1e-9, 3.0);
+  ch2.append(2e-9, 5.0);
+  EXPECT_EQ(again.to_json(), text);
+}
+
+}  // namespace
+}  // namespace ptc::telemetry
