@@ -16,6 +16,18 @@ std::string num(double x) { return json::format_number(x); }
 
 std::string count(std::size_t n) { return std::to_string(n); }
 
+/// Strict decimal parse for console arguments (no signs, no suffixes).
+bool parse_size(const std::string& s, std::size_t* out) {
+  if (s.empty()) return false;
+  std::size_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
 }  // namespace
 
 Console::Console(serve::Server& server, serve::ModelRegistry& registry,
@@ -80,6 +92,7 @@ std::string Console::dispatch(const ScpiCommand& command) {
     }
     return error("unknown ALERT command (try ALERT:LIST?)");
   }
+  if (mnemonic_matches(head, "FAULT")) return cmd_fault(command);
   if (mnemonic_matches(head, "RECALibrate")) return cmd_recalibrate();
   if (mnemonic_matches(head, "TRACE")) return cmd_trace(command);
   if (mnemonic_matches(head, "METRics")) return cmd_metrics(command);
@@ -115,7 +128,11 @@ std::string Console::cmd_snapshot() const {
       << " recalibrations=" << count(report_.recalibrations)
       << " max_detuning_K=" << num(report_.max_abs_detuning)
       << " probes=" << count(report_.probes)
-      << " probe_overhead=" << num(report_.probe_overhead());
+      << " probe_overhead=" << num(report_.probe_overhead())
+      << " faults=" << count(report_.faults)
+      << " evictions=" << count(report_.core_evictions)
+      << " shed=" << count(report_.shed)
+      << " availability=" << num(report_.availability());
   return out.str();
 }
 
@@ -255,7 +272,10 @@ std::string Console::cmd_tenant(const ScpiCommand& command) {
         << " recalibrations=" << count(cost->recalibrations)
         << " recal_s=" << num(cost->recalibration_seconds)
         << " probes=" << count(cost->probes)
-        << " probe_s=" << num(cost->probe_seconds);
+        << " probe_s=" << num(cost->probe_seconds)
+        << " faults=" << count(cost->faults)
+        << " fault_s=" << num(cost->fault_seconds)
+        << " shed=" << count(cost->shed_requests);
     return out.str();
   }
   return error("unknown TENant command \"" + sub + "\"");
@@ -370,6 +390,134 @@ std::string Console::cmd_alerts() const {
   return any ? out.str() : "none";
 }
 
+std::string Console::cmd_fault(const ScpiCommand& command) {
+  // FAULT? — fleet-wide registry summary.
+  if (command.mnemonics.size() == 1) {
+    if (!command.query) return error("FAULT alone is a query (use FAULT?)");
+    std::ostringstream out;
+    out << "injected=" << count(accelerator_.faults_injected())
+        << " evicted=" << count(accelerator_.evicted_count())
+        << " active=" << count(accelerator_.active_core_count())
+        << " health=";
+    for (std::size_t i = 0; i < accelerator_.core_count(); ++i) {
+      if (i > 0) out << ",";
+      out << runtime::to_string(accelerator_.core_health(i));
+      if (accelerator_.core_evicted(i)) out << "(evicted)";
+    }
+    return out.str();
+  }
+  if (command.mnemonics.size() != 2) {
+    return error("unknown FAULT command (try FAULT:INJect <kind> <core>)");
+  }
+  const std::string& sub = command.mnemonics[1];
+  // Core index argument shared by every subcommand; INJect takes it second
+  // (after the kind), the others first.
+  const auto parse_core = [&](std::size_t arg_index,
+                              std::size_t* core) -> std::string {
+    if (command.args.size() <= arg_index) return "missing core index";
+    if (!parse_size(command.args[arg_index], core)) {
+      return "bad core index \"" + command.args[arg_index] + "\"";
+    }
+    if (*core >= accelerator_.core_count()) {
+      return "core index " + count(*core) + " out of range (fleet has " +
+             count(accelerator_.core_count()) + ")";
+    }
+    return "";
+  };
+
+  if (mnemonic_matches(sub, "INJect")) {
+    if (command.args.empty()) {
+      return error("FAULT:INJ needs a kind (DEADRINGS|HEATER|ADC) and core");
+    }
+    runtime::FaultEvent event;
+    const std::string kind = scpi_upper(command.args[0]);
+    if (kind == "DEADRINGS") {
+      event.kind = runtime::FaultEvent::Kind::kDeadRings;
+    } else if (kind == "HEATER") {
+      event.kind = runtime::FaultEvent::Kind::kStuckHeater;
+    } else if (kind == "ADC") {
+      event.kind = runtime::FaultEvent::Kind::kAdcLadder;
+    } else {
+      return error("unknown fault kind \"" + command.args[0] +
+                   "\" (DEADRINGS|HEATER|ADC)");
+    }
+    const std::string bad = parse_core(1, &event.core);
+    if (!bad.empty()) return error(bad);
+    // Optional third argument: rings latched (DEADRINGS) or the row whose
+    // ladder dies (ADC); optional fourth: ring-site sampling seed.
+    if (command.args.size() >= 3) {
+      std::size_t extra = 0;
+      if (!parse_size(command.args[2], &extra)) {
+        return error("bad fault argument \"" + command.args[2] + "\"");
+      }
+      if (event.kind == runtime::FaultEvent::Kind::kAdcLadder) {
+        if (extra >= accelerator_.core(event.core).rows()) {
+          return error("ADC row " + count(extra) + " out of range");
+        }
+        event.row = extra;
+      } else {
+        event.count = extra;
+      }
+    }
+    if (command.args.size() >= 4) {
+      std::size_t seed = 0;
+      if (!parse_size(command.args[3], &seed)) {
+        return error("bad fault seed \"" + command.args[3] + "\"");
+      }
+      event.seed = static_cast<std::uint64_t>(seed) | 1u;
+    }
+    accelerator_.inject(event);
+    const runtime::CoreHealth verdict = accelerator_.run_self_test(event.core);
+    return "OK core=" + count(event.core) +
+           " kind=" + runtime::to_string(event.kind) +
+           " health=" + runtime::to_string(verdict) +
+           " downtime_s=" + num(accelerator_.self_test_cost().latency);
+  }
+  if (mnemonic_matches(sub, "CLEar")) {
+    runtime::FaultEvent event;
+    event.kind = runtime::FaultEvent::Kind::kClear;
+    const std::string bad = parse_core(0, &event.core);
+    if (!bad.empty()) return error(bad);
+    accelerator_.inject(event);
+    const runtime::CoreHealth verdict = accelerator_.run_self_test(event.core);
+    return "OK core=" + count(event.core) +
+           " health=" + runtime::to_string(verdict) +
+           (accelerator_.core_evicted(event.core) ? " evicted=1" : "");
+  }
+  if (mnemonic_matches(sub, "EVICt")) {
+    std::size_t core = 0;
+    const std::string bad = parse_core(0, &core);
+    if (!bad.empty()) return error(bad);
+    if (accelerator_.core_evicted(core)) {
+      return error("core " + count(core) + " is already evicted");
+    }
+    if (accelerator_.active_core_count() <= 1) {
+      return error("cannot evict the last active core");
+    }
+    accelerator_.evict_core(core);
+    registry_.reset_residency();
+    return "OK evicted=" + count(core) +
+           " active=" + count(accelerator_.active_core_count());
+  }
+  if (mnemonic_matches(sub, "READmit")) {
+    std::size_t core = 0;
+    const std::string bad = parse_core(0, &core);
+    if (!bad.empty()) return error(bad);
+    if (!accelerator_.core_evicted(core)) {
+      return error("core " + count(core) + " is not evicted");
+    }
+    if (accelerator_.core_health(core) == runtime::CoreHealth::kFailed) {
+      return error("core " + count(core) +
+                   " is FAILED (FAULT:CLEar it first)");
+    }
+    accelerator_.readmit_core(core);
+    registry_.reset_residency();
+    return "OK readmitted=" + count(core) +
+           " active=" + count(accelerator_.active_core_count());
+  }
+  return error("unknown FAULT command \"" + sub + "\"");
+}
+
 std::string Console::cmd_recalibrate() {
   const runtime::BatchCost downtime = accelerator_.recalibrate();
   return "OK downtime_s=" + num(downtime.latency) +
@@ -450,6 +598,11 @@ std::string Console::cmd_help() const {
          "SLO:BURN? [name]               burn rates per objective\n"
          "ALERT:LIST?                    burn-rate alert firings\n"
          "HEALth:ALERts?                 health anomaly alert firings\n"
+         "FAULT?                         fault registry / per-core health\n"
+         "FAULT:INJect <kind> <core>     DEADRINGS|HEATER|ADC [arg] [seed]\n"
+         "FAULT:CLEar <core>             field repair: clear injected faults\n"
+         "FAULT:EVICt <core>             drop a core from the rotation\n"
+         "FAULT:READmit <core>           return an evicted core to service\n"
          "RECALibrate                    re-lock every core now\n"
          "TRACE:SIZE?                    trace events buffered\n"
          "TRACE:DUMP <path>              write Chrome trace JSON\n"

@@ -73,6 +73,7 @@ class Console {
   std::string cmd_core_health(std::size_t core);
   std::string cmd_health(const ScpiCommand& command);
   std::string cmd_alerts() const;
+  std::string cmd_fault(const ScpiCommand& command);
   std::string cmd_recalibrate();
   std::string cmd_trace(const ScpiCommand& command);
   std::string cmd_metrics(const ScpiCommand& command);

@@ -14,6 +14,7 @@ PsramArray::PsramArray(const PsramArrayConfig& config) : config_(config) {
   expects(config.write_rate > 0.0, "write rate must be positive");
   words_.assign(config.rows * config.words_per_row, 0);
   cell_flips_.assign(words_.size() * config.bits_per_word, 0);
+  cell_limits_ = FaultModel(config.fault).cell_limits(cell_flips_.size());
 }
 
 std::size_t PsramArray::bitcell_count() const {
@@ -31,8 +32,22 @@ std::size_t PsramArray::write_word(std::size_t row, std::size_t index,
   expects(value <= max_weight(), "weight exceeds the word precision");
   const std::size_t word_index = row * config_.words_per_row + index;
   std::uint32_t& word = words_[word_index];
-  const std::uint32_t flips = word ^ value;
-  word = value;
+  std::uint32_t applied = value;
+  if (!cell_limits_.empty()) {
+    for (unsigned b = 0; b < config_.bits_per_word; ++b) {
+      const std::size_t cell = word_index * config_.bits_per_word + b;
+      if ((((applied ^ word) >> b) & 1u) != 0u &&
+          static_cast<double>(cell_flips_[cell]) >= cell_limits_[cell]) {
+        // Worn cell: the toggle silently fails and the bit holds its last
+        // value.  No switching event, no write energy — write-verify (the
+        // write_errors counter) is how a BIST finds out.
+        applied = (applied & ~(1u << b)) | (word & (1u << b));
+        ++write_errors_;
+      }
+    }
+  }
+  const std::uint32_t flips = word ^ applied;
+  word = applied;
   const auto flipped = static_cast<std::size_t>(std::popcount(flips));
   ++word_writes_;
   bit_flips_ += flipped;
@@ -87,6 +102,26 @@ std::uint64_t PsramArray::max_cell_flips() const {
 
 double PsramArray::word_write_time() const {
   return static_cast<double>(config_.bits_per_word) / config_.write_rate;
+}
+
+std::size_t PsramArray::failed_cells() const {
+  if (cell_limits_.empty()) return 0;
+  std::size_t failed = 0;
+  for (std::size_t cell = 0; cell < cell_flips_.size(); ++cell) {
+    if (static_cast<double>(cell_flips_[cell]) >= cell_limits_[cell]) ++failed;
+  }
+  return failed;
+}
+
+double PsramArray::endurance_remaining() const {
+  if (cell_limits_.empty()) return 1.0;
+  double worst = 1.0;
+  for (std::size_t cell = 0; cell < cell_flips_.size(); ++cell) {
+    const double remaining =
+        1.0 - static_cast<double>(cell_flips_[cell]) / cell_limits_[cell];
+    if (remaining < worst) worst = remaining;
+  }
+  return worst < 0.0 ? 0.0 : worst;
 }
 
 }  // namespace ptc::core

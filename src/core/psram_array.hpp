@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "circuit/energy.hpp"
+#include "core/fault.hpp"
 #include "core/tech.hpp"
 
 /// Array-scale photonic SRAM.
@@ -30,6 +31,11 @@ struct PsramArrayConfig {
   double write_energy = 0.493e-12; ///< per switching event [J] (paper: ~0.5 pJ)
   double hold_bias_power = 10e-6;  ///< CW optical bias per cell [W] (-20 dBm)
   double wall_plug_efficiency = tech_wall_plug;
+  /// Write-endurance budget (hard-fault model).  With fault.seed != 0 and
+  /// fault.psram_endurance_median > 0, every bitcell gets a lognormally
+  /// sampled limit on its switching events; a cell at its limit holds its
+  /// last value forever (writes to it silently fail and cost no energy).
+  FaultConfig fault{};
 };
 
 class PsramArray {
@@ -82,6 +88,19 @@ class PsramArray {
   /// endurance monitor alarms on.
   std::uint64_t max_cell_flips() const;
 
+  // --- endurance hard faults -------------------------------------------------
+  bool endurance_enabled() const { return !cell_limits_.empty(); }
+  /// Bitcells worn past their sampled endurance limit (stuck at their last
+  /// held value).  Always 0 when endurance is disabled.
+  std::size_t failed_cells() const;
+  /// Remaining endurance fraction of the *most-worn* cell, in [0, 1]; 1.0
+  /// when endurance is disabled.  This is the sensor channel the fleet
+  /// endurance alarm rides.
+  double endurance_remaining() const;
+  /// Requested bit toggles that a worn cell refused — the write-verify
+  /// error count a BIST reads back.
+  std::uint64_t write_errors() const { return write_errors_; }
+
  private:
   PsramArrayConfig config_;
   std::vector<std::uint32_t> words_;  // row-major
@@ -90,6 +109,10 @@ class PsramArray {
   std::uint64_t bit_flips_ = 0;
   /// Per-bitcell switching counts, [word][bit] flattened like words_.
   std::vector<std::uint32_t> cell_flips_;
+  /// Sampled per-cell endurance limits, same indexing as cell_flips_;
+  /// empty when the endurance budget is disabled.
+  std::vector<double> cell_limits_;
+  std::uint64_t write_errors_ = 0;
 };
 
 }  // namespace ptc::core

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/expects.hpp"
+#include "common/rng.hpp"
 #include "common/units.hpp"
 
 namespace ptc::core {
@@ -15,6 +16,7 @@ TensorCore::TensorCore(const TensorCoreConfig& config)
         c.psram.rows = c.rows;
         c.psram.words_per_row = c.cols;
         c.psram.bits_per_word = c.weight_bits;
+        c.psram.fault = c.fault;
         c.macro.weight_bits = c.weight_bits;
         return c;
       }()),
@@ -40,6 +42,7 @@ TensorCore::TensorCore(const TensorCoreConfig& config)
       macros_[row].emplace_back(macro_config);
     }
   }
+  adc_dead_.assign(config_.rows, 0);
   adcs_.reserve(config_.rows);
   for (std::size_t row = 0; row < config_.rows; ++row) {
     EoAdcConfig adc_config = config_.adc;
@@ -113,6 +116,16 @@ double TensorCore::load_weights(
     flat.insert(flat.end(), row.begin(), row.end());
   }
   const double latency = psram_.write_matrix(flat);
+  if (psram_.endurance_enabled()) {
+    // Worn cells may have refused bit toggles; from here on everything —
+    // ring biases, the digital reference, and the fast-path memo key —
+    // must see what the array actually *stores*, not what was requested.
+    for (std::size_t row = 0; row < config_.rows; ++row) {
+      for (std::size_t col = 0; col < config_.cols; ++col) {
+        flat[row * config_.cols + col] = psram_.word(row, col);
+      }
+    }
+  }
 
   // The stored bits drive the multiply rings tile by tile.
   const std::size_t m = config_.macro.channels;
@@ -206,6 +219,10 @@ std::shared_ptr<const std::vector<double>> TensorCore::build_chain() const {
 }
 
 void TensorCore::set_thermal_detuning(double delta_kelvin) {
+  // A stuck heater has no tuning authority: the detuning stays frozen at
+  // whatever value it had when the fault hit, and recalibrate() cannot
+  // re-lock the core until the fault is cleared.
+  if (heater_stuck_) return;
   detuning_ = delta_kelvin;
   for (auto& row : macros_) {
     for (auto& macro : row) {
@@ -345,7 +362,8 @@ std::vector<unsigned> TensorCore::multiply(const std::vector<double>& input) {
     // scaled by the programmable readout gain.
     const double v_adc =
         analog[row] * readout_gain_ * config_.adc.v_full_scale;
-    codes[row] = adcs_[row].code(v_adc);
+    // A dead ladder clocks its conversion but reads out all-zero codes.
+    codes[row] = adc_dead_[row] != 0 ? 0u : adcs_[row].code(v_adc);
     ++adc_conversions_;
     if (codes[row] == adcs_[row].max_code()) ++adc_saturations_;
   }
@@ -378,7 +396,7 @@ Matrix TensorCore::multiply_batch(const Matrix& inputs) {
     for (std::size_t r = 0; r < config_.rows; ++r) {
       const double v_adc =
           analog[r] * readout_gain_ * config_.adc.v_full_scale;
-      const unsigned code = adcs_[r].code(v_adc);
+      const unsigned code = adc_dead_[r] != 0 ? 0u : adcs_[r].code(v_adc);
       ++adc_conversions_;
       if (code == adcs_[r].max_code()) ++adc_saturations_;
       out(s, r) = static_cast<double>(code) / scale;
@@ -447,6 +465,119 @@ void TensorCore::set_readout_gain(double gain) {
 EoAdc& TensorCore::adc(std::size_t row) {
   expects(row < adcs_.size(), "row index out of range");
   return adcs_[row];
+}
+
+void TensorCore::refresh_fast_path() {
+  calibrations_.clear();
+  if (config_.fast_path && !loaded_words_.empty()) {
+    calibrate_fast_path(loaded_words_);
+  }
+}
+
+void TensorCore::inject_ring_fault(std::size_t row, std::size_t col,
+                                   unsigned bit, RingFaultKind kind) {
+  expects(row < config_.rows && col < config_.cols,
+          "ring coordinates out of range");
+  const std::size_t m = config_.macro.channels;
+  macros_[row][col / m].set_ring_fault(bit, col % m, kind);
+  refresh_fast_path();
+}
+
+void TensorCore::inject_ring_faults(const std::vector<RingFaultSite>& sites) {
+  const std::size_t m = config_.macro.channels;
+  for (const RingFaultSite& site : sites) {
+    expects(site.row < config_.rows && site.col < config_.cols,
+            "ring coordinates out of range");
+    macros_[site.row][site.col / m].set_ring_fault(site.bit, site.col % m,
+                                                   site.kind);
+  }
+  refresh_fast_path();
+}
+
+void TensorCore::inject_stuck_heater() { heater_stuck_ = true; }
+
+void TensorCore::inject_adc_fault(std::size_t row) {
+  expects(row < config_.rows, "row index out of range");
+  adc_dead_[row] = 1;
+}
+
+bool TensorCore::adc_faulted(std::size_t row) const {
+  expects(row < config_.rows, "row index out of range");
+  return adc_dead_[row] != 0;
+}
+
+std::size_t TensorCore::adc_fault_count() const {
+  std::size_t count = 0;
+  for (const std::uint8_t dead : adc_dead_) count += dead != 0 ? 1 : 0;
+  return count;
+}
+
+std::size_t TensorCore::ring_fault_count() const {
+  std::size_t count = 0;
+  for (const auto& row : macros_) {
+    for (const VectorComputeMacro& macro : row) {
+      count += macro.ring_fault_count();
+    }
+  }
+  return count;
+}
+
+void TensorCore::clear_faults() {
+  for (auto& row : macros_) {
+    for (VectorComputeMacro& macro : row) macro.clear_ring_faults();
+  }
+  std::fill(adc_dead_.begin(), adc_dead_.end(), 0);
+  heater_stuck_ = false;
+  refresh_fast_path();
+}
+
+TensorCore::SelfTestResult TensorCore::self_test(std::size_t samples,
+                                                 std::uint64_t seed) {
+  expects(samples >= 1, "self-test needs at least one probe vector");
+  if (loaded_words_.empty()) {
+    // Nothing resident: program a checkerboard BIST pattern so the probes
+    // exercise every ring row in both bit polarities.
+    std::vector<std::vector<std::uint32_t>> pattern(
+        config_.rows, std::vector<std::uint32_t>(config_.cols));
+    for (std::size_t r = 0; r < config_.rows; ++r) {
+      for (std::size_t c = 0; c < config_.cols; ++c) {
+        pattern[r][c] = (r + c) % 2 == 0 ? max_weight() : max_weight() >> 1;
+      }
+    }
+    load_weights(pattern);
+  }
+
+  SelfTestResult result;
+  Rng rng(seed);
+  std::vector<double> input(config_.cols);
+  std::vector<unsigned> row_max_code(config_.rows, 0);
+  std::vector<double> row_max_analog(config_.rows, 0.0);
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (double& x : input) x = rng.uniform();
+    const std::vector<double> analog = multiply_analog(input);
+    const std::vector<unsigned> codes = multiply(input);
+    const std::vector<double> ref = reference(input);
+    for (std::size_t r = 0; r < config_.rows; ++r) {
+      const double err = std::abs(analog[r] - ref[r]);
+      if (err > result.max_row_error) result.max_row_error = err;
+      if (codes[r] > row_max_code[r]) row_max_code[r] = codes[r];
+      if (analog[r] > row_max_analog[r]) row_max_analog[r] = analog[r];
+    }
+  }
+  // A ladder is stuck when its codes pin at zero while the analog value it
+  // should quantize clears 1.5 LSB — beyond any healthy quantization floor
+  // or reference-ladder mismatch.
+  const double lsb =
+      1.0 / static_cast<double>(adcs_.front().max_code()) / readout_gain_;
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    if (row_max_code[r] == 0 && row_max_analog[r] > 1.5 * lsb) {
+      ++result.stuck_adc_rows;
+    }
+  }
+  result.psram_failed_cells = psram_.failed_cells();
+  result.endurance_remaining = psram_.endurance_remaining();
+  result.heater_locked = !heater_stuck_;
+  return result;
 }
 
 }  // namespace ptc::core

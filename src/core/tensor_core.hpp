@@ -57,6 +57,9 @@ struct TensorCoreConfig {
   /// variation manifests as a deviation from design, which the calibrated
   /// fast path freezes and recalibrate() re-freezes.
   VariationConfig variation{};
+  /// Hard-fault model seeds/budgets (core/fault.hpp); forwarded into the
+  /// pSRAM array's endurance sampler.  Disabled by default.
+  FaultConfig fault{};
 };
 
 class TensorCore {
@@ -167,6 +170,53 @@ class TensorCore {
   /// with the inputs, normalized like the analog path.
   std::vector<double> reference(const std::vector<double>& input) const;
 
+  // --- hard-fault injection (core/fault.hpp) --------------------------------
+  /// Latches one multiply ring's drive line.  (row, col) address the weight
+  /// matrix entry, bit the weight-bit row (0 = MSB).  The fault is applied
+  /// at the ring-bias level and the fast path is recalibrated through the
+  /// same spectral walk, so fast path and physics oracle stay bit-identical
+  /// under the fault.
+  void inject_ring_fault(std::size_t row, std::size_t col, unsigned bit,
+                         RingFaultKind kind);
+  void inject_ring_faults(const std::vector<RingFaultSite>& sites);
+
+  /// Freezes the thermal tuner at the current detuning: further
+  /// set_thermal_detuning calls (including recalibrate's re-lock) are
+  /// ignored until the fault is cleared.
+  void inject_stuck_heater();
+  bool heater_stuck() const { return heater_stuck_; }
+
+  /// Kills row `row`'s flash ladder: quantized multiplies read out code 0
+  /// for that row regardless of the photocurrent.  The analog taps
+  /// (multiply_analog*) bypass the ADC and are unaffected.
+  void inject_adc_fault(std::size_t row);
+  bool adc_faulted(std::size_t row) const;
+  std::size_t adc_fault_count() const;
+
+  std::size_t ring_fault_count() const;
+
+  /// Releases every injected fault (rings, heater, ADC ladders) and
+  /// restores weight-driven biases.  pSRAM endurance wear is physical
+  /// damage and persists.  The frozen detuning also persists until the
+  /// caller re-locks (see runtime::Accelerator::inject).
+  void clear_faults();
+
+  // --- built-in self-test ----------------------------------------------------
+  /// Deterministic BIST: streams `samples` seeded probe vectors through the
+  /// array, comparing the analog path against the digital reference and
+  /// watching each row's ADC codes.  Loads a checkerboard test pattern
+  /// first if no weights are resident.  The probes run through multiply()
+  /// and so cost real samples/energy — runtime::Accelerator bills the
+  /// downtime.
+  struct SelfTestResult {
+    double max_row_error = 0.0;  ///< max |analog - reference| over probes
+    std::size_t stuck_adc_rows = 0;
+    std::size_t psram_failed_cells = 0;
+    double endurance_remaining = 1.0;
+    bool heater_locked = true;
+  };
+  SelfTestResult self_test(std::size_t samples, std::uint64_t seed);
+
   // --- performance (Sec. IV-D) ----------------------------------------------
   /// Operations per ADC sample: rows * 2 * cols.
   double ops_per_sample() const;
@@ -240,6 +290,11 @@ class TensorCore {
   /// Rebuilds (or recalls) the cached gains for the loaded weight words.
   void calibrate_fast_path(const std::vector<std::uint32_t>& words);
 
+  /// Drops the calibration memo and re-freezes the fast path after a fault
+  /// set change (the memo keys on (words, detuning) only, so entries built
+  /// under a different fault set would be stale).
+  void refresh_fast_path();
+
   /// The expensive spectral product over the currently-programmed rings at
   /// the current detuning (every ring of a bit row evaluated at every
   /// channel wavelength — the crosstalk walk).
@@ -273,7 +328,13 @@ class TensorCore {
   std::size_t samples_ = 0;
   FastGains fast_;
   std::vector<CalibrationEntry> calibrations_;  ///< MRU-first memo
-  std::vector<std::uint32_t> loaded_words_;     ///< last load_weights payload
+  /// Words the pSRAM actually *stores* after the last load (worn cells may
+  /// refuse bits, so this can differ from the requested payload) — the
+  /// quantity the rings are programmed from and the memo keys on.
+  std::vector<std::uint32_t> loaded_words_;
+  /// Per-row dead ADC ladders; empty-equivalent (all zero) when healthy.
+  std::vector<std::uint8_t> adc_dead_;
+  bool heater_stuck_ = false;
   double detuning_ = 0.0;                ///< thermal detuning [K]
   std::size_t calibration_epoch_ = 0;    ///< recalibrate() count
   std::vector<double> tap_scratch_;    ///< per-sample tap powers, reused

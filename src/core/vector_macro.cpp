@@ -60,16 +60,64 @@ void VectorComputeMacro::load_weights(const std::vector<std::uint32_t>& weights)
     expects(w <= max_weight(), "weight exceeds the configured precision");
   }
   weights_ = weights;
+  apply_weight_biases();
+}
+
+void VectorComputeMacro::apply_weight_biases() {
   for (unsigned row = 0; row < config_.weight_bits; ++row) {
     // Bit row 0 is the MSB (significance 2^(n-1)).
     const unsigned bit_index = config_.weight_bits - 1 - row;
     for (std::size_t ch = 0; ch < config_.channels; ++ch) {
-      const bool bit = (weights[ch] >> bit_index) & 1u;
+      const bool bit = (weights_[ch] >> bit_index) & 1u;
       const double offset =
           bias_offsets_.empty() ? 0.0 : bias_offsets_[row][ch];
-      rings_[row][ch].set_bias((bit ? tech_vdd : 0.0) + offset);
+      double bias = (bit ? tech_vdd : 0.0) + offset;
+      if (!ring_faults_.empty()) {
+        // A latched drive line pins the ring regardless of the stored bit:
+        // stuck-ON parks it on resonance (permanent bit 0, channel always
+        // stripped), stuck-OFF latches it at VDD (permanent bit 1).
+        switch (static_cast<RingFaultKind>(
+            ring_faults_[row * config_.channels + ch])) {
+          case RingFaultKind::kStuckOn:
+            bias = 0.0;
+            break;
+          case RingFaultKind::kStuckOff:
+            bias = tech_vdd;
+            break;
+          case RingFaultKind::kNone:
+            break;
+        }
+      }
+      rings_[row][ch].set_bias(bias);
     }
   }
+}
+
+void VectorComputeMacro::set_ring_fault(unsigned bit_row, std::size_t channel,
+                                        RingFaultKind kind) {
+  expects(bit_row < config_.weight_bits, "bit row out of range");
+  expects(channel < config_.channels, "channel out of range");
+  if (ring_faults_.empty()) {
+    ring_faults_.assign(
+        static_cast<std::size_t>(config_.weight_bits) * config_.channels, 0);
+  }
+  std::uint8_t& slot = ring_faults_[bit_row * config_.channels + channel];
+  if (slot == static_cast<std::uint8_t>(RingFaultKind::kNone) &&
+      kind != RingFaultKind::kNone) {
+    ++ring_fault_count_;
+  } else if (slot != static_cast<std::uint8_t>(RingFaultKind::kNone) &&
+             kind == RingFaultKind::kNone) {
+    --ring_fault_count_;
+  }
+  slot = static_cast<std::uint8_t>(kind);
+  apply_weight_biases();
+}
+
+void VectorComputeMacro::clear_ring_faults() {
+  if (ring_faults_.empty()) return;
+  ring_faults_.clear();
+  ring_fault_count_ = 0;
+  apply_weight_biases();
 }
 
 void VectorComputeMacro::set_temperature_offset(double delta_kelvin) {

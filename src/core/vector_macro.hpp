@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/fault.hpp"
 #include "core/tech.hpp"
 #include "core/variation.hpp"
 #include "optics/frequency_comb.hpp"
@@ -90,6 +91,18 @@ class VectorComputeMacro {
   /// chain, given current weights — exposes crosstalk for tests/benches.
   double chain_transmission(std::size_t bit_row, std::size_t channel) const;
 
+  // --- hard faults -----------------------------------------------------------
+  /// Latches one multiply ring's drive line: from now on the ring ignores
+  /// its weight bit (and drive-level offset) and sits at the stuck bias.
+  /// Takes effect immediately on the currently loaded weights, and flows
+  /// through chain_transmission(), so the physics walk and the fast path
+  /// see the identical faulted device.
+  void set_ring_fault(unsigned bit_row, std::size_t channel,
+                      RingFaultKind kind);
+  /// Releases every latched ring and restores the weight-driven biases.
+  void clear_ring_faults();
+  std::size_t ring_fault_count() const { return ring_fault_count_; }
+
   /// Optical wall-plug power of the macro's comb lines [W].
   double comb_wall_power() const;
 
@@ -98,6 +111,7 @@ class VectorComputeMacro {
  private:
   double compute_current(const std::vector<double>& inputs,
                          std::vector<double>* per_bit) const;
+  void apply_weight_biases();
 
   VectorMacroConfig config_;
   optics::IntensityEncoder encoder_;
@@ -108,6 +122,10 @@ class VectorComputeMacro {
   /// rings_; empty when variation is disabled.
   std::vector<std::vector<double>> bias_offsets_;
   std::vector<std::uint32_t> weights_;
+  /// Per-ring stuck-at states, [bit_row][channel] flattened; empty until
+  /// the first fault is injected (the common, healthy case stays free).
+  std::vector<std::uint8_t> ring_faults_;
+  std::size_t ring_fault_count_ = 0;
   double full_scale_current_ = 0.0;
   double temperature_offset_ = 0.0;
 };

@@ -208,12 +208,15 @@ FleetHealthMonitor::FleetHealthMonitor(runtime::Accelerator& accelerator,
           "a probe sweep must burn at least one ADC window");
   estimators_.reserve(accelerator_.core_count());
   detectors_.reserve(accelerator_.core_count());
+  endurance_detectors_.reserve(accelerator_.core_count());
   for (std::size_t i = 0; i < accelerator_.core_count(); ++i) {
     estimators_.push_back(DriftEstimator::characterize(
         accelerator_.core(i), config_.curve_max_kelvin, config_.curve_points,
         config_.estimator));
     detectors_.emplace_back(config_.anomaly);
+    endurance_detectors_.emplace_back(config_.endurance);
   }
+  endurance_floor_fired_.assign(accelerator_.core_count(), 0);
 }
 
 void FleetHealthMonitor::set_metrics(telemetry::MetricsRegistry* metrics) {
@@ -227,9 +230,12 @@ void FleetHealthMonitor::set_tracer(telemetry::Tracer* tracer) {
 void FleetHealthMonitor::reset() {
   for (DriftEstimator& estimator : estimators_) estimator.reset();
   for (AnomalyDetector& detector : detectors_) detector.reset();
+  for (AnomalyDetector& detector : endurance_detectors_) detector.reset();
+  endurance_floor_fired_.assign(endurance_floor_fired_.size(), 0);
   store_.clear();
   alerts_.clear();
   alerts_since_recalibration_ = 0;
+  endurance_alarms_ = 0;
   samples_taken_ = 0;
   last_sample_time_ = 0.0;
 }
@@ -242,7 +248,39 @@ std::string FleetHealthMonitor::channel_name(std::size_t core,
 void FleetHealthMonitor::sample(double t) {
   ++samples_taken_;
   last_sample_time_ = t;
+  // One rising-edge alert; endurance alarms bypass the recalibration
+  // counter — re-locking cannot un-wear pSRAM, so feeding them into the
+  // recalibrate_on_anomaly trigger would buy downtime for nothing.
+  const auto fire_alert = [this](double at, std::size_t core_index,
+                                 std::string name, double value, double score,
+                                 bool feeds_recalibration) {
+    HealthAlert alert;
+    alert.time = at;
+    alert.core = core_index;
+    alert.name = std::move(name);
+    alert.value = value;
+    alert.score = score;
+    if (feeds_recalibration) ++alerts_since_recalibration_;
+    if (tracer_ != nullptr) {
+      tracer_->instant(telemetry::track::kServe, "health_alert", "slo", at,
+                       {{"slo", alert.name.c_str()},
+                        {"core", core_index},
+                        {"value", value},
+                        {"score", score}});
+    }
+    if (metrics_ != nullptr) {
+      metrics_
+          ->counter("slo_alerts_total", {{"slo", alert.name}},
+                    "multi-window burn-rate alert firings")
+          .inc();
+    }
+    alerts_.push_back(std::move(alert));
+  };
   for (std::size_t i = 0; i < estimators_.size(); ++i) {
+    // An evicted core is out of the serving rotation: the sweep does not
+    // probe it, and (below) its stale estimate cannot drive fleet-wide
+    // recalibration.  Readmission resumes sampling where it left off.
+    if (accelerator_.core_evicted(i)) continue;
     core::TensorCore& core = accelerator_.core(i);
     const double ratio = core.probe_transmission();
     DriftEstimator& estimator = estimators_[i];
@@ -287,27 +325,35 @@ void FleetHealthMonitor::sample(double t) {
 
     AnomalyDetector& detector = detectors_[i];
     if (detector.observe(t, ratio)) {
-      HealthAlert alert;
-      alert.time = t;
-      alert.core = i;
-      alert.name = "core" + std::to_string(i) + "-probe-anomaly";
-      alert.value = ratio;
-      alert.score = detector.score();
-      ++alerts_since_recalibration_;
-      if (tracer_ != nullptr) {
-        tracer_->instant(telemetry::track::kServe, "health_alert", "slo", t,
-                         {{"slo", alert.name.c_str()},
-                          {"core", i},
-                          {"value", ratio},
-                          {"score", alert.score}});
-      }
+      fire_alert(t, i, "core" + std::to_string(i) + "-probe-anomaly", ratio,
+                 detector.score(), /*feeds_recalibration=*/true);
+    }
+
+    // pSRAM endurance: only meaningful on fleets that model wear-out
+    // (core::FaultConfig::psram_endurance_median > 0).  The remaining
+    // budget is a measurable — the controller counts its own writes
+    // against the rated endurance — so the channel stays oracle-free.
+    if (core.psram().endurance_enabled()) {
+      const double remaining = core.psram().endurance_remaining();
+      store_.channel(channel_name(i, "endurance_remaining"))
+          .append(t, remaining);
       if (metrics_ != nullptr) {
         metrics_
-            ->counter("slo_alerts_total", {{"slo", alert.name}},
-                      "multi-window burn-rate alert firings")
-            .inc();
+            ->gauge("fleet_core_endurance_remaining",
+                    {{"core", std::to_string(i)}},
+                    "fraction of rated pSRAM write endurance left per core")
+            .set(remaining);
       }
-      alerts_.push_back(std::move(alert));
+      AnomalyDetector& wear = endurance_detectors_[i];
+      const bool rate_change = wear.observe(t, remaining);
+      const bool floor_crossed =
+          remaining < config_.endurance_floor && endurance_floor_fired_[i] == 0;
+      if (floor_crossed) endurance_floor_fired_[i] = 1;
+      if (rate_change || floor_crossed) {
+        ++endurance_alarms_;
+        fire_alert(t, i, "core" + std::to_string(i) + "-endurance", remaining,
+                   wear.score(), /*feeds_recalibration=*/false);
+      }
     }
   }
 }
@@ -338,8 +384,12 @@ double FleetHealthMonitor::estimate(std::size_t core) const {
 
 double FleetHealthMonitor::max_estimate() const {
   double worst = 0.0;
-  for (const DriftEstimator& estimator : estimators_) {
-    worst = std::max(worst, estimator.estimate());
+  for (std::size_t i = 0; i < estimators_.size(); ++i) {
+    // Evicted cores keep their last estimate but are out of the rotation;
+    // letting a stale reading trigger fleet-wide downtime would charge the
+    // survivors for a core that is not even serving.
+    if (accelerator_.core_evicted(i)) continue;
+    worst = std::max(worst, estimators_[i].estimate());
   }
   return worst;
 }

@@ -173,6 +173,23 @@ struct HealthConfig {
   DriftEstimatorConfig estimator{};
   /// Change detection on each core's probe-transmission channel.
   AnomalyConfig anomaly{};
+  /// Change detection on each core's pSRAM endurance-remaining channel —
+  /// CUSUM by default, because wear is a slow monotone ramp whose *rate
+  /// change* (a cell population starting to fail) is the anomaly, not any
+  /// single reading.  Only sampled on fleets that model endurance
+  /// (core::FaultConfig::psram_endurance_median > 0).
+  AnomalyConfig endurance{
+      .kind = AnomalyConfig::Kind::kCusum,
+      .window = 16,
+      .min_samples = 8,
+      .threshold = 8.0,
+      .slack = 0.5,
+      .min_sigma = 1e-12,
+  };
+  /// Hard floor on endurance remaining: crossing below it fires a
+  /// `coreN-endurance` alert (rising edge) regardless of the detector —
+  /// the end-of-life warning the operator acts on.
+  double endurance_floor = 0.1;
   /// Ring geometry for every sensor channel.
   telemetry::TimeSeriesOptions series{};
 };
@@ -214,9 +231,17 @@ class FleetHealthMonitor {
   const AnomalyDetector& detector(std::size_t core) const;
 
   /// EWMA |detuning| estimate for one core / the worst across the fleet
-  /// [K] — the Server's estimated_drift_threshold trigger input.
+  /// [K] — the Server's estimated_drift_threshold trigger input.  The max
+  /// skips evicted cores: a core out of the serving rotation must not
+  /// trigger fleet-wide recalibration downtime.
   double estimate(std::size_t core) const;
   double max_estimate() const;
+
+  /// Endurance alarms fired since reset() (subset of alerts()).  These are
+  /// deliberately excluded from alerts_since_recalibration(): re-locking
+  /// cannot un-wear pSRAM, so they must not feed the recalibrate_on_anomaly
+  /// trigger into a downtime loop.
+  std::uint64_t endurance_alarms() const { return endurance_alarms_; }
 
   /// Sweeps performed since reset().
   std::uint64_t samples_taken() const { return samples_taken_; }
@@ -240,9 +265,12 @@ class FleetHealthMonitor {
   HealthConfig config_;
   std::vector<DriftEstimator> estimators_;
   std::vector<AnomalyDetector> detectors_;
+  std::vector<AnomalyDetector> endurance_detectors_;
+  std::vector<std::uint8_t> endurance_floor_fired_;  ///< rising-edge latch
   telemetry::TimeSeriesStore store_;
   std::vector<HealthAlert> alerts_;
   std::uint64_t alerts_since_recalibration_ = 0;
+  std::uint64_t endurance_alarms_ = 0;
   std::uint64_t samples_taken_ = 0;
   double last_sample_time_ = 0.0;
   optics::ThermalTunerConfig heater_;  ///< duty model for the heater channel

@@ -22,6 +22,7 @@ Accelerator::Accelerator(const AcceleratorConfig& config)
 
   Rng variation(config_.variation_seed);
   const core::VariationModel fleet_variation(config_.variation);
+  const Rng fault_streams(config_.fault.seed);
   cores_.reserve(config_.cores);
   for (std::size_t i = 0; i < config_.cores; ++i) {
     core::TensorCoreConfig core_config = config_.core;
@@ -35,8 +36,17 @@ Accelerator::Accelerator(const AcceleratorConfig& config)
       core_config.variation = config_.variation;
       core_config.variation.seed = fleet_variation.child_seed(i);
     }
+    if (config_.fault.seed != 0) {
+      // Per-die endurance sampling stream (| 1 keeps it nonzero: seed 0
+      // would disable the core's fault model).
+      core_config.fault = config_.fault;
+      core_config.fault.seed = fault_streams.split(i).next_u64() | 1u;
+    }
     cores_.push_back(std::make_unique<core::TensorCore>(core_config));
   }
+  health_.assign(cores_.size(), CoreHealth::kOk);
+  evicted_.assign(cores_.size(), 0);
+  rebuild_active();
   if (drift_enabled()) reset_drift();
 
   core::TensorCore& probe = *cores_.front();
@@ -78,7 +88,7 @@ BatchCost Accelerator::batch_cost(std::size_t passes, std::size_t warm_passes,
   pass_costs.assign(passes - warm_passes, cost.total());
   pass_costs.insert(pass_costs.end(), warm_passes, cost.compute_s);
   const Schedule schedule = TileScheduler::assign_costs(pass_costs,
-                                                        cores_.size());
+                                                        active_.size());
   if (tracer_ != nullptr) {
     trace_batch_schedule(schedule, pass_costs, cost.reload_s,
                          passes - warm_passes, "pass");
@@ -91,7 +101,7 @@ BatchCost Accelerator::batch_cost(std::size_t passes, std::size_t warm_passes,
     for (const CoreShard& shard : schedule.shards) {
       if (shard.pass_indices.empty()) continue;
       const telemetry::LabelSet labels = {
-          {"core", std::to_string(shard.core)}};
+          {"core", std::to_string(active_[shard.core])}};
       metrics_
           ->counter("fleet_core_busy_seconds_total", labels,
                     "modeled busy time per core [s]")
@@ -122,8 +132,9 @@ void Accelerator::trace_batch_schedule(const Schedule& schedule,
     for (const std::size_t index : shard.pass_indices) {
       const double cost = pass_costs[index];
       const bool cold = index < cold_count && reload_s > 0.0;
+      // Shard cores are rotation slots; the track is the physical core.
       const int tid = telemetry::track::kCoreBase +
-                      static_cast<int>(shard.core);
+                      static_cast<int>(active_[shard.core]);
       tracer_->complete(tid, label, "fleet", t, t + cost,
                         {{"pass", index}, {"cold", cold}});
       if (cold) {
@@ -189,15 +200,27 @@ void Accelerator::advance_to(double t) {
 }
 
 double Accelerator::max_abs_detuning() const {
+  // Evicted cores are out of rotation: their (possibly frozen) detuning
+  // must not keep pulling the fleet's recalibration triggers.
   double worst = 0.0;
-  for (const auto& c : cores_) {
-    worst = std::max(worst, std::abs(c->thermal_detuning()));
+  for (const std::size_t i : active_) {
+    worst = std::max(worst, std::abs(cores_[i]->thermal_detuning()));
   }
   return worst;
 }
 
 BatchCost Accelerator::recalibrate() {
-  for (std::size_t i = 0; i < cores_.size(); ++i) {
+  // Re-lock only hardware that can re-lock: FAILED cores (stuck heaters,
+  // gross corruption) are skipped — billing re-lock downtime for hardware
+  // that cannot recover would charge tenants for nothing — and evicted
+  // cores are out of rotation entirely.
+  std::vector<std::size_t> relock;
+  relock.reserve(active_.size());
+  for (const std::size_t i : active_) {
+    if (health_[i] != CoreHealth::kFailed) relock.push_back(i);
+  }
+  if (relock.empty()) return BatchCost{};
+  for (const std::size_t i : relock) {
     if (i < drift_.size()) drift_[i].reset(0.0);
     cores_[i]->recalibrate();
   }
@@ -208,17 +231,17 @@ BatchCost Accelerator::recalibrate() {
                   "heater re-locks performed across the fleet")
         .inc();
   }
-  // Downtime: one probe residency per core, all cores in parallel —
+  // Downtime: one probe residency per re-locked core, all in parallel —
   // costed exactly like a cold serving batch of probe vectors.  Suppress
   // the generic pass spans and emit labeled recalibration windows instead.
   telemetry::Tracer* tracer = tracer_;
   tracer_ = nullptr;
   const BatchCost downtime =
-      batch_cost(cores_.size(), 0, config_.drift.recalibration_samples);
+      batch_cost(relock.size(), 0, config_.drift.recalibration_samples);
   tracer_ = tracer;
   if (tracer_ != nullptr) {
     const double start = trace_time_;
-    for (std::size_t i = 0; i < cores_.size(); ++i) {
+    for (const std::size_t i : relock) {
       tracer_->complete(
           telemetry::track::kCoreBase + static_cast<int>(i), "recalibrate",
           "fleet", start, start + downtime.latency,
@@ -233,7 +256,7 @@ BatchCost Accelerator::probe_cost(std::size_t samples) const {
   expects(samples >= 1, "a probe sweep streams at least one vector");
   BatchCost out;
   out.latency = static_cast<double>(samples) / sample_rate_;
-  out.busy = out.latency * static_cast<double>(cores_.size());
+  out.busy = out.latency * static_cast<double>(active_.size());
   out.reloads = 0;
   out.reload_time = 0.0;
   return out;
@@ -265,14 +288,16 @@ Matrix Accelerator::matmul(const Matrix& x, const Matrix& w,
   }
 
   const PassCost cost = pass_cost(plan.samples);
-  const Schedule schedule = TileScheduler::assign(plan, cores_.size(), cost);
+  const Schedule schedule = TileScheduler::assign(plan, active_.size(), cost);
 
-  // Each shard runs its passes on its own core; results land in disjoint
-  // slots, so the only synchronization needed is the parallel_for barrier.
+  // Each shard runs its passes on its own core (shard.core is a rotation
+  // slot, mapped through active_ to the physical core); results land in
+  // disjoint slots, so the only synchronization needed is the parallel_for
+  // barrier.
   std::vector<nn::TilePassResult> results(plan.passes.size());
   pool_.parallel_for(0, schedule.shards.size(), [&](std::size_t s) {
     const CoreShard& shard = schedule.shards[s];
-    core::TensorCore& shard_core = *cores_[shard.core];
+    core::TensorCore& shard_core = *cores_[active_[shard.core]];
     for (std::size_t index : shard.pass_indices) {
       results[index] =
           nn::run_tile_pass(shard_core, plan, index, x_norm, options);
@@ -295,7 +320,7 @@ Matrix Accelerator::matmul(const Matrix& x, const Matrix& w,
   stats_.makespan += schedule.makespan();
   stats_.busy_time += schedule.total_busy();
   for (const CoreShard& shard : schedule.shards) {
-    stats_.core_busy[shard.core] += shard.busy_time;
+    stats_.core_busy[active_[shard.core]] += shard.busy_time;
   }
   if (metrics_ != nullptr) {
     metrics_->counter("fleet_matmuls_total", "matmul dispatches served")
@@ -351,6 +376,133 @@ void Accelerator::reset_stats() {
   stats_ = AcceleratorStats{};
   stats_.cores = cores_.size();
   stats_.core_busy.assign(cores_.size(), 0.0);
+}
+
+void Accelerator::rebuild_active() {
+  active_.clear();
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    if (evicted_[i] == 0) active_.push_back(i);
+  }
+  if (metrics_ != nullptr) {
+    metrics_
+        ->gauge("fleet_active_cores",
+                "cores currently in the scheduling rotation")
+        .set(static_cast<double>(active_.size()));
+  }
+}
+
+void Accelerator::inject(const FaultEvent& event) {
+  expects(event.core < cores_.size(), "fault event core out of range");
+  core::TensorCore& target = *cores_[event.core];
+  switch (event.kind) {
+    case FaultEvent::Kind::kDeadRings:
+      target.inject_ring_faults(core::FaultModel::sample_ring_faults(
+          target.rows(), target.cols(), target.weight_bits(), event.count,
+          event.seed));
+      break;
+    case FaultEvent::Kind::kStuckHeater:
+      target.inject_stuck_heater();
+      break;
+    case FaultEvent::Kind::kAdcLadder:
+      expects(event.row < target.rows(), "fault event row out of range");
+      target.inject_adc_fault(event.row);
+      break;
+    case FaultEvent::Kind::kClear:
+      target.clear_faults();
+      // Field repair ends with a re-lock: detuning back to the calibrated
+      // point on a fresh drift state for this core.
+      if (event.core < drift_.size()) drift_[event.core].reset(0.0);
+      target.set_thermal_detuning(0.0);
+      break;
+  }
+  if (event.kind != FaultEvent::Kind::kClear) ++faults_injected_;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter("fleet_faults_total", {{"kind", to_string(event.kind)}},
+                  "hard-fault events applied to the fleet")
+        .inc();
+  }
+}
+
+CoreHealth Accelerator::run_self_test(std::size_t index) {
+  expects(index < cores_.size(), "core index out of range");
+  core::TensorCore& target = *cores_[index];
+  // BIST at the calibration lock point: drift-detuned-but-healthy cores
+  // must not read as hard faults.  Both calls no-op on a stuck heater —
+  // the test then runs at the frozen detuning and the heater_locked flag
+  // fails the core regardless of the error it measures.
+  const double detuning = target.thermal_detuning();
+  if (detuning != 0.0) target.set_thermal_detuning(0.0);
+  const core::TensorCore::SelfTestResult result =
+      target.self_test(config_.self_test.samples, config_.self_test.seed);
+  if (detuning != 0.0) target.set_thermal_detuning(detuning);
+  CoreHealth health = CoreHealth::kOk;
+  if (result.max_row_error >= config_.self_test.degraded_error ||
+      result.psram_failed_cells > 0 ||
+      result.endurance_remaining < config_.self_test.degraded_endurance) {
+    health = CoreHealth::kDegraded;
+  }
+  if (result.max_row_error >= config_.self_test.fail_error ||
+      result.stuck_adc_rows > 0 || !result.heater_locked) {
+    health = CoreHealth::kFailed;
+  }
+  health_[index] = health;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->gauge("fleet_core_health",
+                {{"core", std::to_string(index)}},
+                "self-test health per core (0 OK, 1 DEGRADED, 2 FAILED)")
+        .set(static_cast<double>(health));
+  }
+  return health;
+}
+
+BatchCost Accelerator::self_test_cost() const {
+  // The BIST streams its probe batch twice through one core: once through
+  // the analog tap, once through the quantized path.
+  BatchCost out;
+  out.latency =
+      2.0 * static_cast<double>(config_.self_test.samples) / sample_rate_;
+  out.busy = out.latency;
+  return out;
+}
+
+CoreHealth Accelerator::core_health(std::size_t index) const {
+  expects(index < cores_.size(), "core index out of range");
+  return health_[index];
+}
+
+bool Accelerator::core_evicted(std::size_t index) const {
+  expects(index < cores_.size(), "core index out of range");
+  return evicted_[index] != 0;
+}
+
+void Accelerator::evict_core(std::size_t index) {
+  expects(index < cores_.size(), "core index out of range");
+  expects(evicted_[index] == 0, "core is already evicted");
+  expects(active_.size() > 1, "cannot evict the last active core");
+  evicted_[index] = 1;
+  rebuild_active();
+}
+
+void Accelerator::readmit_core(std::size_t index) {
+  expects(index < cores_.size(), "core index out of range");
+  expects(evicted_[index] != 0, "core is not evicted");
+  evicted_[index] = 0;
+  rebuild_active();
+}
+
+void Accelerator::reset_faults() {
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    cores_[i]->clear_faults();
+    if (cores_[i]->thermal_detuning() != 0.0) {
+      cores_[i]->set_thermal_detuning(0.0);
+    }
+    health_[i] = CoreHealth::kOk;
+    evicted_[i] = 0;
+  }
+  faults_injected_ = 0;
+  rebuild_active();
 }
 
 }  // namespace ptc::runtime

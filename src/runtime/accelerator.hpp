@@ -13,6 +13,7 @@
 #include "nn/backend.hpp"
 #include "nn/tiling.hpp"
 #include "optics/thermal.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/tile_scheduler.hpp"
@@ -43,6 +44,28 @@ struct DriftConfig {
   std::size_t recalibration_samples = 64;
 };
 
+/// Fault-triggered built-in self-test: seeded probe vectors streamed
+/// through one core and judged against the digital reference (see
+/// core::TensorCore::self_test).  The BIST runs at the calibration lock
+/// point (detuning pulled to 0 for the test, restored after), so thermal
+/// drift cannot masquerade as a hard fault — a heater that cannot be
+/// pulled to the lock point is caught by the heater_locked flag instead.
+/// The thresholds classify core health: a core FAILS on gross analog
+/// corruption, a stuck ADC ladder, or a heater that cannot re-lock; it is
+/// DEGRADED on elevated-but-servable error, worn pSRAM cells, or a thin
+/// endurance margin.  The error bars sit well above the healthy variation
+/// fleet's locked deviation (~0.003) and below a 24-ring dead cluster's
+/// (~0.02-0.05).
+struct SelfTestConfig {
+  std::size_t samples = 8;
+  std::uint64_t seed = 2026;
+  double degraded_error = 0.008;  ///< max row |analog - reference| bar
+  double fail_error = 0.015;
+  /// DEGRADED when the most-worn pSRAM cell's remaining endurance
+  /// fraction drops below this.
+  double degraded_endurance = 0.1;
+};
+
 struct AcceleratorConfig {
   /// Number of tensor cores in the pool.
   std::size_t cores = 4;
@@ -67,6 +90,12 @@ struct AcceleratorConfig {
   core::VariationConfig variation{};
   /// Thermal drift of the fleet's operating point on modeled serving time.
   DriftConfig drift{};
+  /// Hard-fault model (core/fault.hpp): when fault.seed != 0 every core
+  /// receives an independent child stream for its pSRAM endurance sampler.
+  /// Injected faults (inject()) work regardless of this seed.
+  core::FaultConfig fault{};
+  /// Health classification thresholds for run_self_test().
+  SelfTestConfig self_test{};
 };
 
 /// Determinism contract: matmul results depend only on (config, inputs) —
@@ -156,6 +185,51 @@ class Accelerator {
   /// this so identical runs see identical drift trajectories.
   void reset_drift();
 
+  // --- hard faults / per-core health registry -------------------------------
+  /// Applies one fault event to its target core right now (the event's
+  /// `time` field is the *serve* layer's replay key; the accelerator does
+  /// not consult it).  kClear events clear the core's injected faults and
+  /// re-lock it (fresh drift state, detuning 0).  Classification is a
+  /// separate step — call run_self_test() afterwards.
+  void inject(const FaultEvent& event);
+
+  /// Runs the target core's BIST and classifies it against the self_test
+  /// thresholds; records and returns the new health state.  The modeled
+  /// downtime is self_test_cost() — billed by the serve layer.
+  CoreHealth run_self_test(std::size_t index);
+
+  /// Modeled downtime of one core's BIST: the probe batch streams through
+  /// the analog tap and the quantized path (two passes over the samples).
+  BatchCost self_test_cost() const;
+
+  CoreHealth core_health(std::size_t index) const;
+  bool core_evicted(std::size_t index) const;
+  std::size_t evicted_count() const { return cores_.size() - active_.size(); }
+  /// Cores currently in the scheduling rotation (ids ascending).  All tile
+  /// passes — matmul(), batch_cost(), recalibrate() — schedule over these
+  /// only; health state alone never changes routing (that separation is
+  /// what lets a no-mitigation serving policy keep routing to FAILED
+  /// hardware, and what the fault frontier bench measures).
+  const std::vector<std::size_t>& active_cores() const { return active_; }
+  std::size_t active_core_count() const { return active_.size(); }
+
+  /// Takes a core out of the scheduling rotation / returns it.  The last
+  /// active core cannot be evicted.  Scheduling over the survivors is
+  /// bit-identical to a healthy fleet of the surviving size (uniform
+  /// geometry + canonical-order reduction).
+  void evict_core(std::size_t index);
+  void readmit_core(std::size_t index);
+
+  /// Clears every injected fault, readmits every core, heals all health
+  /// states, and re-locks (detuning 0).  pSRAM endurance wear is physical
+  /// damage and persists.  Server::run calls this when a fault schedule is
+  /// attached so identical runs see identical fault trajectories.
+  void reset_faults();
+
+  /// Fault events injected since construction (or reset_faults()),
+  /// excluding kClear repairs.
+  std::size_t faults_injected() const { return faults_injected_; }
+
   // --- telemetry ------------------------------------------------------------
   /// Attaches a span tracer (nullptr detaches — the default, zero-overhead
   /// path).  While attached, matmul() and batch_cost() emit per-core tile
@@ -201,9 +275,17 @@ class Accelerator {
                             double reload_s, std::size_t cold_count,
                             const char* label) const;
 
+  void rebuild_active();
+
   AcceleratorConfig config_;
   std::vector<std::unique_ptr<core::TensorCore>> cores_;
   ThreadPool pool_;
+  // Fault registry: health states, eviction set, and the active (scheduling)
+  // rotation derived from it.
+  std::vector<CoreHealth> health_;
+  std::vector<std::uint8_t> evicted_;
+  std::vector<std::size_t> active_;
+  std::size_t faults_injected_ = 0;
   double sample_rate_ = 0.0;     ///< per-core ADC sample rate [Hz]
   double reload_latency_ = 0.0;  ///< modeled full-tile reload latency [s]
   AcceleratorStats stats_;

@@ -55,6 +55,24 @@ struct BatchPolicy {
   /// recalibration (rising-edge change detection on the probe channels).
   bool recalibrate_on_anomaly = false;
 
+  // --- hard-fault reaction (fault schedules / console injection) ------------
+  /// Evict a core from the serving rotation when the fault-triggered
+  /// self-test classifies it FAILED.  Surviving cores absorb its tile
+  /// share (runtime::Accelerator remaps the schedule); a later CLEAR event
+  /// repairs and readmits it.  Off, the scheduler keeps routing passes to
+  /// the broken core — the no-mitigation baseline the fault bench
+  /// collapses.
+  bool evict_on_fault = false;
+  /// Re-lock the fleet at the next dispatch after any fault injection
+  /// (the self-test already ran; this repairs what recalibration can —
+  /// e.g. collateral detuning — on the surviving cores).
+  bool recalibrate_on_fault = false;
+  /// Degraded-capacity load shedding: while >= 1 core is evicted, refuse
+  /// new arrivals once the queue holds this many requests (they count as
+  /// shed, not completed, and bill to their tenant's shed tally).  0 never
+  /// sheds — queues grow unboundedly against the SLOs instead.
+  std::size_t degraded_queue_limit = 0;
+
   static constexpr double kNoTimeout =
       std::numeric_limits<double>::infinity();
 };

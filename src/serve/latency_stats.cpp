@@ -57,6 +57,13 @@ double ServeReport::accuracy() const {
                               static_cast<double>(completed);
 }
 
+double ServeReport::availability() const {
+  const std::size_t offered = completed + shed;
+  return offered == 0 ? 1.0
+                      : static_cast<double>(completed) /
+                            static_cast<double>(offered);
+}
+
 double ServeReport::mean_batch() const {
   return dispatched_batches == 0 ? 0.0
                                  : static_cast<double>(completed) /

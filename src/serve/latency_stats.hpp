@@ -61,6 +61,11 @@ struct TenantCost {
   double recalibration_seconds = 0.0;    ///< fleet row only [s]
   std::size_t probes = 0;                ///< fleet row only: health sweeps
   double probe_seconds = 0.0;            ///< fleet row only [s]
+  std::size_t faults = 0;                ///< fleet row only: injections
+  double fault_seconds = 0.0;  ///< fleet row only: self-test downtime [s]
+  /// Requests refused by degraded-capacity load shedding (per-tenant —
+  /// shedding is the one cost a tenant pays directly, in lost requests).
+  std::size_t shed_requests = 0;
 };
 
 /// Per-objective summary of one run's SLO evaluation (serve/slo.hpp).
@@ -139,6 +144,24 @@ struct ServeReport {
   LatencyStats trigger_lag;
   /// Health anomaly alerts fired during the run.
   std::size_t health_alerts = 0;
+
+  // --- hard faults / graceful degradation -----------------------------------
+  /// Fault events the run replayed (injections; CLEAR repairs excluded)
+  /// and the modeled downtime their triggered self-tests cost [s] — both
+  /// derived from the fleet attribution row, so fault accounting conserves
+  /// bit-exactly like every other cost.
+  std::size_t faults = 0;
+  double fault_time = 0.0;
+  /// Cores the run evicted from / readmitted to the serving rotation.
+  std::size_t core_evictions = 0;
+  std::size_t core_readmissions = 0;
+  /// Requests refused by degraded-capacity load shedding (sum of the
+  /// per-tenant shed tallies).
+  std::size_t shed = 0;
+  /// Fraction of offered requests the run completed: completed /
+  /// (completed + shed).  1.0 when nothing shed; the fault frontier gates
+  /// this >= 0.95 at the gated fault rate under the eviction policy.
+  double availability() const;
 
   // --- attribution / SLOs ---------------------------------------------------
   /// Exact per-tenant cost decomposition, sorted by tenant name.  The

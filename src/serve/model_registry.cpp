@@ -66,7 +66,10 @@ std::size_t ModelRegistry::passes(const std::string& name) const {
 }
 
 bool ModelRegistry::fits_resident(const std::string& name) const {
-  return passes(name) <= accelerator_.core_count();
+  // Residency is against the *active* rotation: after an eviction the
+  // surviving cores hold fewer tiles, so a model that was warm on the full
+  // fleet may stream cold on the degraded one.
+  return passes(name) <= accelerator_.active_core_count();
 }
 
 BatchDispatch ModelRegistry::run_batch(const std::string& name,

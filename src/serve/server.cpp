@@ -92,6 +92,14 @@ void Server::add_slo(const SloObjective& objective) {
 
 void Server::clear_slos() { slos_.clear(); }
 
+void Server::set_fault_schedule(std::vector<runtime::FaultEvent> schedule) {
+  for (std::size_t i = 0; i + 1 < schedule.size(); ++i) {
+    expects(schedule[i].time <= schedule[i + 1].time,
+            "fault events must be sorted by time");
+  }
+  fault_schedule_ = std::move(schedule);
+}
+
 ServeReport Server::run(const std::vector<Request>& requests,
                         const BatchPolicy& policy, const RunOptions& options) {
   for (std::size_t i = 0; i + 1 < requests.size(); ++i) {
@@ -100,6 +108,11 @@ ServeReport Server::run(const std::vector<Request>& requests,
   }
   registry_.reset_residency();
   accelerator_.reset_drift();
+  // A scheduled-fault run replays its schedule from a healthy fleet, so the
+  // same schedule + requests reproduce byte-identically across runs.  An
+  // empty schedule leaves console-injected faults (and their evictions) in
+  // place — the operator's fleet state persists across SERVE:RUN?.
+  if (!fault_schedule_.empty()) accelerator_.reset_faults();
   accelerator_.set_trace_time(0.0);
   const double energy_before = accelerator_.fleet_ledger().total_energy();
 
@@ -187,10 +200,36 @@ ServeReport Server::run(const std::vector<Request>& requests,
   // At most one re-lock between dispatches, so a policy whose period is
   // shorter than the recalibration downtime still makes forward progress.
   bool recalibrated_since_dispatch = false;
+  // Hard-fault replay cursor over the (time-sorted) schedule, and the
+  // latch a fault injection sets when the policy re-locks on faults.
+  std::size_t next_fault = 0;
+  bool fault_recal_pending = false;
 
   // Request lifecycle spans are async events keyed by request id: queued
   // lifetimes overlap arbitrarily, which no single track could hold.
   const auto admit = [&](const Request& request) {
+    // Degraded-capacity load shedding: while a core is evicted the fleet
+    // runs below nameplate, so an admission-time queue cap keeps the
+    // surviving cores' tail latency inside the SLOs at the price of
+    // availability.  Shed requests never enqueue: they bill to their
+    // tenant's shed tally and the run's availability() pays for them.
+    if (policy.degraded_queue_limit > 0 && accelerator_.evicted_count() > 0 &&
+        batcher.pending() >= policy.degraded_queue_limit) {
+      ++cost_row(request.tenant).shed_requests;
+      if (tracer_ != nullptr) {
+        tracer_->instant(telemetry::track::kServe, "request_shed", "serve",
+                         request.arrival,
+                         {{"tenant", request.tenant.c_str()},
+                          {"model", request.model.c_str()}});
+      }
+      if (metrics_ != nullptr) {
+        metrics_
+            ->counter("serve_shed_total", {{"tenant", request.tenant}},
+                      "requests refused by degraded-capacity shedding")
+            .inc();
+      }
+      return;
+    }
     if (tracer_ != nullptr) {
       tracer_->async_begin("request", "request", request.id, request.arrival,
                            {{"tenant", request.tenant.c_str()},
@@ -231,6 +270,89 @@ ServeReport Server::run(const std::vector<Request>& requests,
       expects(next >= requests.size(), "only a drained stream may flush");
       dispatch_at = fleet_free;
       drain = true;
+    }
+
+    // Scheduled hard faults due at or before the launch instant strike
+    // first (in modeled-event order against the probe cadence): inject,
+    // self-test the struck core, and apply the policy's eviction /
+    // readmission reaction before any batch commits to the old rotation.
+    if (next_fault < fault_schedule_.size() &&
+        fault_schedule_[next_fault].time <= dispatch_at &&
+        (health == nullptr || fault_schedule_[next_fault].time <= next_probe)) {
+      const runtime::FaultEvent& event = fault_schedule_[next_fault++];
+      const double fault_at = std::max(event.time, fleet_free);
+      accelerator_.advance_to(fault_at);
+      note_crossings(fault_at);
+      accelerator_.set_trace_time(fault_at);
+      accelerator_.inject(event);
+      // The strike triggers the struck core's BIST: its verdict drives the
+      // eviction decision and its modeled downtime stalls the fleet —
+      // billed, like recalibration, to the reserved fleet row.
+      const runtime::CoreHealth verdict =
+          accelerator_.run_self_test(event.core);
+      const runtime::BatchCost bist = accelerator_.self_test_cost();
+      const bool repair = event.kind == runtime::FaultEvent::Kind::kClear;
+      fleet_free = std::max(fleet_free, fault_at + bist.latency);
+      {
+        const double ledger_now = accelerator_.fleet_ledger().total_energy();
+        TenantCost& fleet_row = cost_row(TenantCost::kFleetTenant);
+        if (!repair) ++fleet_row.faults;
+        fleet_row.fault_seconds += bist.latency;
+        fleet_row.energy_joules += ledger_now - ledger_last;
+        ledger_last = ledger_now;
+      }
+      if (policy.recalibrate_on_fault) fault_recal_pending = true;
+      if (tracer_ != nullptr) {
+        tracer_->instant(telemetry::track::kServe,
+                         repair ? "fault_cleared" : "fault_injected", "serve",
+                         fault_at,
+                         {{"kind", runtime::to_string(event.kind)},
+                          {"core", event.core}});
+        tracer_->complete(telemetry::track::kServe, "self_test", "serve",
+                          fault_at, fault_at + bist.latency,
+                          {{"core", event.core},
+                           {"health", runtime::to_string(verdict)}});
+      }
+      if (metrics_ != nullptr && !repair) {
+        metrics_->counter("serve_faults_total").inc();
+        metrics_->counter("serve_fault_seconds_total").inc(bist.latency);
+      }
+      if (repair) {
+        // Field repair: a cleared core that passes its BIST rejoins the
+        // rotation (the next batch restreams against the larger fleet).
+        if (accelerator_.core_evicted(event.core) &&
+            verdict != runtime::CoreHealth::kFailed) {
+          accelerator_.readmit_core(event.core);
+          registry_.reset_residency();
+          ++report.core_readmissions;
+          if (tracer_ != nullptr) {
+            tracer_->instant(telemetry::track::kServe, "core_readmitted",
+                             "serve", fault_at, {{"core", event.core}});
+          }
+          if (metrics_ != nullptr) {
+            metrics_->counter("serve_core_readmissions_total").inc();
+          }
+        }
+      } else if (policy.evict_on_fault &&
+                 verdict == runtime::CoreHealth::kFailed &&
+                 !accelerator_.core_evicted(event.core) &&
+                 accelerator_.active_core_count() > 1) {
+        accelerator_.evict_core(event.core);
+        // Residency was planned against the old rotation; drop it so the
+        // next batch restreams against the survivors.
+        registry_.reset_residency();
+        ++report.core_evictions;
+        if (tracer_ != nullptr) {
+          tracer_->instant(telemetry::track::kServe, "core_evicted", "serve",
+                           fault_at, {{"core", event.core}});
+        }
+        if (metrics_ != nullptr) {
+          metrics_->counter("serve_core_evictions_total").inc();
+        }
+      }
+      // Re-enter the loop: the dispatch instant may have moved past the
+      // self-test downtime, and more events may be due before it.
+      continue;
     }
 
     // Sensor sweeps due at or before the launch instant run first, in the
@@ -286,7 +408,12 @@ ServeReport Server::run(const std::vector<Request>& requests,
       const bool anomaly_due = policy.recalibrate_on_anomaly &&
                                health != nullptr &&
                                health->alerts_since_recalibration() > 0;
-      if (periodic_due || drift_due || estimated_due || anomaly_due) {
+      // Fault-triggered re-lock: a strike (or repair) since the last
+      // dispatch latched this; recalibration repairs what it can on the
+      // surviving cores (collateral detuning — not the hard fault itself).
+      const bool fault_due = fault_recal_pending;
+      if (periodic_due || drift_due || estimated_due || anomaly_due ||
+          fault_due) {
         // Pin the modeled-time cursor so the downtime spans sit exactly in
         // the window the event loop charges for them.
         accelerator_.set_trace_time(dispatch_at);
@@ -330,6 +457,7 @@ ServeReport Server::run(const std::vector<Request>& requests,
           }
         }
         recalibrated_since_dispatch = true;
+        fault_recal_pending = false;
         fleet_free = dispatch_at + downtime.latency;
         if (tracer_ != nullptr) {
           tracer_->complete(telemetry::track::kServe, "recalibrate", "serve",
@@ -563,6 +691,9 @@ ServeReport Server::run(const std::vector<Request>& requests,
   report.recalibration_time = 0.0;
   report.probes = 0;
   report.probe_time = 0.0;
+  report.faults = 0;
+  report.fault_time = 0.0;
+  report.shed = 0;
   for (const TenantCost& row : report.tenant_costs) {
     report.busy += row.busy_seconds;
     report.energy += row.energy_joules;
@@ -570,6 +701,9 @@ ServeReport Server::run(const std::vector<Request>& requests,
     report.recalibration_time += row.recalibration_seconds;
     report.probes += row.probes;
     report.probe_time += row.probe_seconds;
+    report.faults += row.faults;
+    report.fault_time += row.fault_seconds;
+    report.shed += row.shed_requests;
   }
   report.trigger_lag = LatencyStats::from_histogram(lag_hist);
   report.health_alerts = health != nullptr ? health->alerts().size() : 0;

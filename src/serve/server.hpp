@@ -79,6 +79,20 @@ class Server {
   fleet::FleetHealthMonitor* health() { return health_.get(); }
   const fleet::FleetHealthMonitor* health() const { return health_.get(); }
 
+  /// Deterministic hard-fault schedule the next runs replay on *modeled*
+  /// time: each event injects at the first instant >= its time (after the
+  /// fleet frees up), triggers the self-test on the struck core, and —
+  /// under an evicting policy — drops FAILED cores from the rotation.
+  /// Events must be sorted by time.  A non-empty schedule makes run()
+  /// reset the fleet's fault state at start, so every run replays the same
+  /// schedule from a healthy fleet; an empty schedule (the default) leaves
+  /// console-injected faults in place across runs.  Persists until
+  /// replaced or cleared.
+  void set_fault_schedule(std::vector<runtime::FaultEvent> schedule);
+  const std::vector<runtime::FaultEvent>& fault_schedule() const {
+    return fault_schedule_;
+  }
+
   /// Serves `requests` (sorted by arrival — LoadGenerator output
   /// qualifies) under `policy` and returns the full report.  Arrivals at
   /// exactly the dispatch instant join the closing batch.  Once the
@@ -122,6 +136,7 @@ class Server {
   std::vector<SloMonitor> slos_;
   fleet::HealthConfig health_config_{};
   std::unique_ptr<fleet::FleetHealthMonitor> health_;
+  std::vector<runtime::FaultEvent> fault_schedule_;
 };
 
 }  // namespace ptc::serve

@@ -298,24 +298,39 @@ std::vector<std::string> lint_chrome_trace(const std::string& json_text) {
         }
         it->second = std::max(it->second, ts);
       }
-    } else if (ph == "i" &&
-               event.at("name").as_string() == "health_alert") {
-      // Health-alert instants have a consumer-facing arg contract: alert
-      // routing keys on the string "slo" label and the numeric "core"
-      // index (fleet/health.cpp emits them; dashboards join on them).
+    } else if (ph == "i") {
+      // Instants with a consumer-facing arg contract: dashboards and the
+      // fault post-mortem tooling join on these keys, so the linter pins
+      // them.  health_alert carries its routing slo label + core index
+      // (fleet/health.cpp); the fault lifecycle instants
+      // (serve/server.cpp) carry the fault kind and/or the struck core.
+      const std::string& name = event.at("name").as_string();
       const json::Value* args =
           event.contains("args") && event.at("args").is_object()
               ? &event.at("args")
               : nullptr;
-      if (args == nullptr || !args->contains("slo") ||
-          !args->at("slo").is_string()) {
-        problems.push_back(where +
-                           ": health_alert missing string \"slo\" arg");
-      }
-      if (args == nullptr || !args->contains("core") ||
-          !args->at("core").is_number()) {
-        problems.push_back(where +
-                           ": health_alert missing numeric \"core\" arg");
+      const auto require_string = [&](const char* key) {
+        if (args == nullptr || !args->contains(key) ||
+            !args->at(key).is_string()) {
+          problems.push_back(where + ": " + name + " missing string \"" +
+                             key + "\" arg");
+        }
+      };
+      const auto require_number = [&](const char* key) {
+        if (args == nullptr || !args->contains(key) ||
+            !args->at(key).is_number()) {
+          problems.push_back(where + ": " + name + " missing numeric \"" +
+                             key + "\" arg");
+        }
+      };
+      if (name == "health_alert") {
+        require_string("slo");
+        require_number("core");
+      } else if (name == "fault_injected" || name == "fault_cleared") {
+        require_string("kind");
+        require_number("core");
+      } else if (name == "core_evicted" || name == "core_readmitted") {
+        require_number("core");
       }
     }
   }

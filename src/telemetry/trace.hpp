@@ -134,8 +134,10 @@ const char* trace_path_from_env();
 /// Validates Chrome trace-event JSON: the document parses, events carry the
 /// required fields, complete spans nest properly per (pid, tid), async
 /// begin/end events pair up per (category, id), counter samples are
-/// monotone in time per (pid, tid, name), and health_alert instants carry
-/// the consumer arg schema (string "slo", numeric "core").  Returns
+/// monotone in time per (pid, tid, name), and contract-bearing instants
+/// carry their consumer arg schemas — health_alert (string "slo", numeric
+/// "core"), fault_injected / fault_cleared (string "kind", numeric
+/// "core"), core_evicted / core_readmitted (numeric "core").  Returns
 /// human-readable problems (empty == lint-clean).  This is the trace-lint
 /// gate CI runs via tests/test_telemetry.cpp.
 std::vector<std::string> lint_chrome_trace(const std::string& json_text);

@@ -156,6 +156,70 @@ TEST(Console, RecalibrateActsOnTheLiveFleet) {
   EXPECT_EQ(console.eval("FLEET:DETUN?"), "0");
 }
 
+TEST(Console, FaultDrillInjectsEvictsClearsAndReadmits) {
+  DemoScenario demo(1);
+  Console console = demo.make_console();
+  EXPECT_EQ(console.eval("FAULT?"),
+            "injected=0 evicted=0 active=4 health=OK,OK,OK,OK");
+
+  // Break core 2 hard: the triggered self-test classifies it FAILED.
+  const std::string inject = console.eval("FAULT:INJ DEADRINGS 2 64");
+  EXPECT_EQ(inject.rfind("OK core=2 kind=DEADRINGS health=FAILED", 0), 0u)
+      << inject;
+  EXPECT_NE(inject.find("downtime_s="), std::string::npos);
+
+  const std::string evict = console.eval("FAULT:EVIC 2");
+  EXPECT_EQ(evict, "OK evicted=2 active=3");
+  EXPECT_EQ(console.eval("FAULT?"),
+            "injected=1 evicted=1 active=3 health=OK,OK,FAILED(evicted),OK");
+
+  // A FAILED core cannot rejoin the rotation until it is repaired.
+  EXPECT_EQ(console.eval("FAULT:READ 2").rfind("ERR:", 0), 0u);
+  const std::string clear = console.eval("FAULT:CLE 2");
+  EXPECT_EQ(clear, "OK core=2 health=OK evicted=1");
+  EXPECT_EQ(console.eval("FAULT:READ 2"), "OK readmitted=2 active=4");
+  console.eval("SYST:ERR?");  // drain the queued readmit refusal
+  EXPECT_EQ(console.eval("SYST:ERR?"), "0,\"No error\"");
+}
+
+TEST(Console, FaultCommandsRejectBadArguments) {
+  DemoScenario demo(1);
+  Console console = demo.make_console();
+  EXPECT_EQ(console.eval("FAULT").rfind("ERR:", 0), 0u);  // query-only
+  EXPECT_EQ(console.eval("FAULT:INJ").rfind("ERR:", 0), 0u);
+  EXPECT_EQ(console.eval("FAULT:INJ SOLAR 0").rfind("ERR:", 0), 0u);
+  EXPECT_EQ(console.eval("FAULT:INJ DEADRINGS").rfind("ERR:", 0), 0u);
+  EXPECT_EQ(console.eval("FAULT:INJ DEADRINGS 99").rfind("ERR:", 0), 0u);
+  EXPECT_EQ(console.eval("FAULT:INJ DEADRINGS x").rfind("ERR:", 0), 0u);
+  EXPECT_EQ(console.eval("FAULT:INJ ADC 0 9999").rfind("ERR:", 0), 0u);
+  EXPECT_EQ(console.eval("FAULT:EVIC 99").rfind("ERR:", 0), 0u);
+  EXPECT_EQ(console.eval("FAULT:READ 0").rfind("ERR:", 0), 0u);  // not evicted
+  EXPECT_EQ(console.eval("FAULT:CLE").rfind("ERR:", 0), 0u);
+
+  // Evicting down to one core is allowed; the last core is not.
+  EXPECT_EQ(console.eval("FAULT:EVIC 0"), "OK evicted=0 active=3");
+  EXPECT_EQ(console.eval("FAULT:EVIC 0").rfind("ERR:", 0), 0u);  // twice
+  EXPECT_EQ(console.eval("FAULT:EVIC 1"), "OK evicted=1 active=2");
+  EXPECT_EQ(console.eval("FAULT:EVIC 2"), "OK evicted=2 active=1");
+  EXPECT_EQ(console.eval("FAULT:EVIC 3").rfind("ERR:", 0), 0u);  // last one
+}
+
+TEST(Console, ServeRunStillWorksOnAnEvictedFleet) {
+  DemoScenario demo(1);
+  Console console = demo.make_console();
+  console.eval("FAULT:INJ DEADRINGS 1 64");
+  console.eval("FAULT:EVIC 1");
+  const std::string run = console.eval("SERVE:RUN?");
+  EXPECT_EQ(run.rfind("OK ", 0), 0u) << run;
+  // The scenario attaches no fault schedule, so console-injected state
+  // survives the run and SNAP? reports a clean (no-shed) serving pass.
+  const std::string snap = console.eval("SNAP?");
+  EXPECT_NE(snap.find(" shed=0"), std::string::npos) << snap;
+  EXPECT_NE(snap.find(" availability=1"), std::string::npos) << snap;
+  EXPECT_EQ(console.eval("FAULT?").rfind("injected=1 evicted=1 active=3", 0),
+            0u);
+}
+
 TEST(Console, ExitStopsTheStreamAndCountsErrors) {
   DemoScenario demo(1);
   Console console = demo.make_console();

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/random_matrix.hpp"
 #include "common/rng.hpp"
 #include "core/tensor_core.hpp"
 #include "fleet/health.hpp"
@@ -268,6 +269,80 @@ TEST(FleetHealthMonitor, PublishesGaugesCountersAndAlertSchema) {
   const std::vector<std::string> problems =
       telemetry::lint_chrome_trace(tracer.chrome_json());
   EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(FleetHealthMonitor, EnduranceAlarmFiresOnceAndBypassesRecalibration) {
+  // A fleet that models pSRAM wear-out: endurance_remaining is a sensor
+  // channel, crossing the floor raises a coreN-endurance alert exactly
+  // once, and the alarm never feeds the recalibration trigger (re-locking
+  // heaters cannot un-wear bitcells).
+  runtime::AcceleratorConfig config = fleet_config(1);
+  config.drift.sigma = 0.0;
+  config.fault.seed = 17;
+  config.fault.psram_endurance_median = 6.0;  // dies within a few reloads
+  runtime::Accelerator accelerator(config);
+  HealthConfig health_config;
+  FleetHealthMonitor monitor(accelerator, health_config);
+  telemetry::MetricsRegistry metrics;
+  monitor.set_metrics(&metrics);
+
+  monitor.sample(1e-9);
+  EXPECT_EQ(monitor.endurance_alarms(), 0u);
+  EXPECT_TRUE(metrics.contains("fleet_core_endurance_remaining",
+                               {{"core", "0"}}));
+
+  // Wear every core past the floor with fresh weight loads.
+  Rng rng(3);
+  nn::PhotonicBackendOptions options;
+  for (int i = 0; i < 24; ++i) {
+    // 16 tiles per matmul: every core streams fresh weights each pass.
+    accelerator.matmul(random_activations(2, 64, rng),
+                       random_signed(64, 64, rng), options);
+  }
+  ASSERT_LT(accelerator.core(0).psram().endurance_remaining(),
+            health_config.endurance_floor);
+  monitor.sample(2e-9);
+  EXPECT_GE(monitor.endurance_alarms(), 4u);  // every core crossed
+  bool found = false;
+  for (const fleet::HealthAlert& alert : monitor.alerts()) {
+    if (alert.name == "core0-endurance") found = true;
+  }
+  EXPECT_TRUE(found);
+  // Endurance alarms bypass the recalibrate_on_anomaly trigger.
+  EXPECT_EQ(monitor.alerts_since_recalibration(), 0u);
+
+  // Rising edge only: the floor latch keeps later samples quiet.
+  const std::uint64_t after_crossing = monitor.endurance_alarms();
+  monitor.sample(3e-9);
+  monitor.sample(4e-9);
+  EXPECT_EQ(monitor.endurance_alarms(), after_crossing);
+}
+
+TEST(FleetHealthMonitor, EvictedCoresAreSkippedAndLeaveMaxEstimate) {
+  // An evicted core's stale estimate must not keep triggering fleet-wide
+  // recalibration, and sampling must not probe hardware that is out of
+  // the rotation.
+  runtime::AcceleratorConfig config = fleet_config(1);
+  config.drift.sigma = 0.0;
+  runtime::Accelerator accelerator(config);
+  FleetHealthMonitor monitor(accelerator, HealthConfig{});
+
+  accelerator.core(2).set_thermal_detuning(0.5);
+  monitor.sample(1e-9);
+  EXPECT_GT(monitor.max_estimate(), 0.3);
+
+  accelerator.evict_core(2);
+  EXPECT_LT(monitor.max_estimate(), 0.1);  // stale estimate masked
+
+  // Samples taken while evicted leave the core's channels untouched.
+  const std::uint64_t probe_points =
+      monitor.store().channel("core2/probe_transmission").appended();
+  monitor.sample(2e-9);
+  EXPECT_EQ(monitor.store().channel("core2/probe_transmission").appended(),
+            probe_points);
+
+  accelerator.readmit_core(2);
+  EXPECT_GT(monitor.max_estimate(), 0.3);  // back in the rotation
 }
 
 // ---------------------------------------------------------------------------

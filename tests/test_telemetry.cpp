@@ -508,6 +508,85 @@ TEST(Trace, LintEnforcesHealthAlertArgSchema) {
   EXPECT_TRUE(telemetry::lint_chrome_trace(other).empty());
 }
 
+TEST(Trace, LintEnforcesFaultInstantArgSchemas) {
+  // fault_injected / fault_cleared need a string "kind" and numeric "core".
+  const std::string missing_args = R"({"traceEvents": [
+    {"ph": "i", "name": "fault_injected", "cat": "fault", "pid": 1, "tid": 1,
+     "ts": 3}
+  ]})";
+  EXPECT_EQ(telemetry::lint_chrome_trace(missing_args).size(), 2u);
+
+  const std::string wrong_types = R"({"traceEvents": [
+    {"ph": "i", "name": "fault_cleared", "cat": "fault", "pid": 1, "tid": 1,
+     "ts": 3, "args": {"kind": 2, "core": "one"}}
+  ]})";
+  EXPECT_EQ(telemetry::lint_chrome_trace(wrong_types).size(), 2u);
+
+  // core_evicted / core_readmitted need a numeric "core".
+  const std::string evict_missing = R"({"traceEvents": [
+    {"ph": "i", "name": "core_evicted", "cat": "fault", "pid": 1, "tid": 1,
+     "ts": 3}
+  ]})";
+  EXPECT_EQ(telemetry::lint_chrome_trace(evict_missing).size(), 1u);
+
+  const std::string readmit_wrong = R"({"traceEvents": [
+    {"ph": "i", "name": "core_readmitted", "cat": "fault", "pid": 1,
+     "tid": 1, "ts": 3, "args": {"core": "two"}}
+  ]})";
+  EXPECT_EQ(telemetry::lint_chrome_trace(readmit_wrong).size(), 1u);
+
+  const std::string conforming = R"({"traceEvents": [
+    {"ph": "i", "name": "fault_injected", "cat": "fault", "pid": 1, "tid": 1,
+     "ts": 1, "args": {"kind": "DEADRINGS", "core": 2}},
+    {"ph": "i", "name": "core_evicted", "cat": "fault", "pid": 1, "tid": 1,
+     "ts": 2, "args": {"core": 2}},
+    {"ph": "i", "name": "fault_cleared", "cat": "fault", "pid": 1, "tid": 1,
+     "ts": 3, "args": {"kind": "CLEAR", "core": 2}},
+    {"ph": "i", "name": "core_readmitted", "cat": "fault", "pid": 1,
+     "tid": 1, "ts": 4, "args": {"core": 2}}
+  ]})";
+  EXPECT_TRUE(telemetry::lint_chrome_trace(conforming).empty());
+}
+
+TEST(Trace, ServerFaultRunEmitsLintCleanFaultInstants) {
+  // An end-to-end fault run's trace carries the fault_injected /
+  // core_evicted / fault_cleared / core_readmitted instants and passes the
+  // linter's arg schemas.
+  runtime::AcceleratorConfig config;
+  config.cores = 4;
+  config.variation.seed = 42;
+  runtime::Accelerator accelerator(config);
+  serve::ModelRegistry registry(accelerator);
+  Rng rng(7);
+  registry.add("m", nn::Mlp(32, 16, 10, rng));
+  serve::Server server(registry);
+  server.set_fault_schedule(
+      {{.time = 5e-9, .core = 1,
+        .kind = runtime::FaultEvent::Kind::kDeadRings, .count = 64,
+        .seed = 3},
+       {.time = 200e-9, .core = 1,
+        .kind = runtime::FaultEvent::Kind::kClear}});
+  telemetry::Tracer tracer;
+  server.set_tracer(&tracer);
+  const serve::LoadGenerator generator(
+      {{.name = "t", .model = "m", .rate = 100e6, .requests = 48}}, 1234);
+  server.run(generator.generate(registry),
+             {.max_batch = 8, .max_wait = 20e-9, .evict_on_fault = true,
+              .recalibrate_on_fault = true});
+
+  std::size_t fault_instants = 0;
+  for (const telemetry::TraceEvent& event : tracer.events()) {
+    if (event.name == "fault_injected" || event.name == "fault_cleared" ||
+        event.name == "core_evicted" || event.name == "core_readmitted") {
+      ++fault_instants;
+    }
+  }
+  EXPECT_EQ(fault_instants, 4u);
+  const std::vector<std::string> problems =
+      telemetry::lint_chrome_trace(tracer.chrome_json());
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
 TEST(Trace, BitIdenticalAcrossHostThreadCounts) {
   // The determinism contract: the trace and the metrics exposition are
   // pure functions of the modeled schedule, independent of host threading.
