@@ -38,8 +38,17 @@ void Console::set_run_callback(std::function<serve::ServeReport()> callback) {
   run_callback_ = std::move(callback);
 }
 
+void Console::set_token_run_callback(
+    std::function<serve::TokenServeReport()> callback) {
+  token_run_callback_ = std::move(callback);
+}
+
 void Console::set_report(serve::ServeReport report) {
   report_ = std::move(report);
+}
+
+void Console::set_token_report(serve::TokenServeReport report) {
+  token_report_ = std::move(report);
 }
 
 std::string Console::error(const std::string& message) {
@@ -79,6 +88,13 @@ std::string Console::dispatch(const ScpiCommand& command) {
       return cmd_serve_run();
     }
     return error("unknown SERVE command (try SERVE:RUN?)");
+  }
+  if (mnemonic_matches(head, "TOKen")) {
+    if (command.mnemonics.size() == 2 &&
+        mnemonic_matches(command.mnemonics[1], "RUN") && command.query) {
+      return cmd_token_run();
+    }
+    return error("unknown TOKen command (try TOK:RUN?)");
   }
   if (mnemonic_matches(head, "MEASure")) return cmd_measure(command);
   if (mnemonic_matches(head, "FLEET")) return cmd_fleet(command);
@@ -133,7 +149,28 @@ std::string Console::cmd_snapshot() const {
       << " evictions=" << count(report_.core_evictions)
       << " shed=" << count(report_.shed)
       << " availability=" << num(report_.availability());
+  // Token-serving summary, once a TOK:RUN? has happened.
+  if (token_report_.steps > 0) {
+    out << " tokens=" << count(token_report_.tokens)
+        << " token_steps=" << count(token_report_.steps)
+        << " tokens_per_s=" << num(token_report_.tokens_per_second())
+        << " energy_per_token_J=" << num(token_report_.energy_per_token())
+        << " kv_peak_rows=" << count(token_report_.kv_peak_rows)
+        << " preemptions=" << count(token_report_.preemptions);
+  }
   return out.str();
+}
+
+std::string Console::cmd_token_run() {
+  if (!token_run_callback_) {
+    return error("no token scenario attached (TOK:RUN? needs a callback)");
+  }
+  token_report_ = token_run_callback_();
+  return "OK completed=" + count(token_report_.completed) +
+         " steps=" + count(token_report_.steps) +
+         " tokens=" + count(token_report_.tokens) +
+         " p99_s=" + num(token_report_.total.p99) +
+         " makespan_s=" + num(token_report_.makespan);
 }
 
 std::string Console::cmd_serve_run() {
@@ -247,17 +284,26 @@ std::string Console::cmd_tenant(const ScpiCommand& command) {
   const std::string& sub = command.mnemonics[1];
 
   if (mnemonic_matches(sub, "LIST")) {
-    if (report_.tenant_costs.empty()) return "none";
+    // Batch tenants first, then token-serving tenants (a tenant billed in
+    // both runs is listed once).
     std::string out;
     for (const serve::TenantCost& cost : report_.tenant_costs) {
       if (!out.empty()) out += ",";
       out += cost.tenant;
     }
-    return out;
+    for (const serve::TenantCost& cost : token_report_.tenant_costs) {
+      if (report_.tenant_cost(cost.tenant) != nullptr) continue;
+      if (!out.empty()) out += ",";
+      out += cost.tenant;
+    }
+    return out.empty() ? "none" : out;
   }
   if (mnemonic_matches(sub, "COST")) {
     if (command.args.empty()) return error("TEN:COST? needs a tenant name");
+    // Batch-serving row first; token-serving tenants answer from the last
+    // TOK:RUN? report (same TenantCost shape, token fields live).
     const serve::TenantCost* cost = report_.tenant_cost(command.args[0]);
+    if (cost == nullptr) cost = token_report_.tenant_cost(command.args[0]);
     if (cost == nullptr) {
       return error("unknown tenant \"" + command.args[0] + "\"");
     }
@@ -275,7 +321,11 @@ std::string Console::cmd_tenant(const ScpiCommand& command) {
         << " probe_s=" << num(cost->probe_seconds)
         << " faults=" << count(cost->faults)
         << " fault_s=" << num(cost->fault_seconds)
-        << " shed=" << count(cost->shed_requests);
+        << " shed=" << count(cost->shed_requests)
+        << " tokens=" << count(cost->tokens)
+        << " kv_row_s=" << num(cost->kv_row_seconds)
+        << " kv_evicted_rows=" << count(cost->kv_evicted_rows)
+        << " preemptions=" << count(cost->preemptions);
     return out.str();
   }
   return error("unknown TENant command \"" + sub + "\"");
@@ -581,6 +631,7 @@ std::string Console::cmd_help() const {
   return "*IDN?                          identify the instrument\n"
          "SNAPshot?                      one-line fleet summary\n"
          "SERVE:RUN?                     re-run the attached scenario\n"
+         "TOKen:RUN?                     run the token-serving scenario\n"
          "MEASure:LATency? <stat> [ten]  P50|P95|P99|MAX|MEAN|COUNT [s]\n"
          "MEASure:THRoughput?            completed requests per second\n"
          "MEASure:ACCuracy?              fraction matching float reference\n"

@@ -10,6 +10,7 @@
 #include "runtime/accelerator.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/server.hpp"
+#include "serve/token_server.hpp"
 
 /// Operator console: a queryable control plane over a live Server +
 /// Accelerator.  One SCPI-style command line in, one reply out — answered
@@ -40,10 +41,20 @@ class Console {
   /// the report it returns.  Without one, SERVE:RUN? is an error.
   void set_run_callback(std::function<serve::ServeReport()> callback);
 
+  /// `TOKen:RUN?` runs the scenario's token-serving (transformer) leg and
+  /// stores the report; its tenants then answer TEN:LIST? / TEN:COST? and
+  /// SNAP? grows a token-serving summary.  Without one, TOK:RUN? errors.
+  void set_token_run_callback(
+      std::function<serve::TokenServeReport()> callback);
+
   /// Seeds the report queries answer from (e.g. a run performed before
   /// the console attached).
   void set_report(serve::ServeReport report);
   const serve::ServeReport& report() const { return report_; }
+
+  /// Seeds the token-serving report (as set_report, for TOK:RUN? state).
+  void set_token_report(serve::TokenServeReport report);
+  const serve::TokenServeReport& token_report() const { return token_report_; }
 
   /// Evaluates one command line and returns the reply ("" for a blank or
   /// comment-only line; "ERR: ..." on failure, which also queues the
@@ -66,6 +77,7 @@ class Console {
   std::string cmd_idn() const;
   std::string cmd_snapshot() const;
   std::string cmd_serve_run();
+  std::string cmd_token_run();
   std::string cmd_measure(const ScpiCommand& command);
   std::string cmd_fleet(const ScpiCommand& command);
   std::string cmd_tenant(const ScpiCommand& command);
@@ -84,7 +96,9 @@ class Console {
   serve::ModelRegistry& registry_;
   runtime::Accelerator& accelerator_;
   std::function<serve::ServeReport()> run_callback_;
+  std::function<serve::TokenServeReport()> token_run_callback_;
   serve::ServeReport report_;
+  serve::TokenServeReport token_report_;
   std::deque<std::string> errors_;
   bool exit_requested_ = false;
 };

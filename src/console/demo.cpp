@@ -2,8 +2,10 @@
 
 #include "common/rng.hpp"
 #include "nn/mlp.hpp"
+#include "nn/transformer.hpp"
 #include "serve/batcher.hpp"
 #include "serve/load_generator.hpp"
+#include "serve/token_server.hpp"
 
 namespace ptc::console {
 namespace {
@@ -33,6 +35,18 @@ DemoScenario::DemoScenario(std::size_t threads)
   // cost asymmetry TEN:COST? exists to expose.
   registry_.add("vision", nn::Mlp(32, 24, 10, rng));
   registry_.add("keyword", nn::Mlp(16, 12, 4, rng));
+  // "chat" is the token-serving tenant's transformer: TOK:RUN? decodes
+  // against it and its KV-residency costs land in TEN:COST?.
+  nn::TransformerConfig tf_config;
+  tf_config.vocab = 16;
+  tf_config.d_model = 8;
+  tf_config.heads = 2;
+  tf_config.layers = 2;
+  tf_config.d_ff = 12;
+  tf_config.max_seq = 24;
+  Rng tf_rng(71);
+  registry_.add_transformer("chat",
+                            nn::TransformerModel::random(tf_config, tf_rng));
   server_.set_tracer(&tracer_);
   server_.set_metrics(&metrics_);
 
@@ -73,9 +87,38 @@ serve::ServeReport DemoScenario::run() {
   return server_.run(generator.generate(registry_), policy);
 }
 
+serve::TokenServeReport DemoScenario::run_tokens() {
+  // Six near-simultaneous chat requests (decode steps are ns-scale) from
+  // two tenants, under a KV budget tight enough to force preemption — so
+  // the console's token, residency, and eviction figures are all live.
+  std::vector<serve::TokenRequest> requests;
+  Rng load(72);
+  for (std::size_t i = 0; i < 6; ++i) {
+    serve::TokenRequest request;
+    request.id = i;
+    request.tenant = i % 2 == 0 ? "chat-pro" : "chat-free";
+    request.model = "chat";
+    request.arrival = static_cast<double>(i) * 1e-9;
+    const std::size_t prompt_len = 1 + load.below(4);
+    for (std::size_t t = 0; t < prompt_len; ++t) {
+      request.prompt.push_back(load.below(16));
+    }
+    request.max_new = 3 + load.below(6);
+    requests.push_back(std::move(request));
+  }
+  serve::TokenServer server(registry_);
+  server.set_tracer(&tracer_);
+  serve::TokenPolicy policy;
+  policy.schedule = serve::TokenPolicy::Schedule::kContinuous;
+  policy.max_batch = 8;
+  policy.kv_budget_rows = 16;
+  return server.run(requests, policy);
+}
+
 Console DemoScenario::make_console() {
   Console console(server_, registry_, accelerator_);
   console.set_run_callback([this] { return run(); });
+  console.set_token_run_callback([this] { return run_tokens(); });
   return console;
 }
 

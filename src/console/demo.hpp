@@ -31,6 +31,12 @@ class DemoScenario {
   /// One deterministic serving run (same requests, same policy).
   serve::ServeReport run();
 
+  /// One deterministic token-serving run of the "chat" transformer:
+  /// continuous batching under a tight KV budget, so the transcript's
+  /// SNAP? / TEN:COST? answers carry live token, KV-residency, and
+  /// preemption figures.
+  serve::TokenServeReport run_tokens();
+
   /// A console attached to this scenario with the run callback installed.
   Console make_console();
 

@@ -18,8 +18,26 @@ std::size_t div_ceil(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
 }  // namespace
 
 std::size_t Step::rows_per_sample() const {
-  if (kind != Kind::kConv2d) return 1;
-  return (in_shape.height() - kernel + 1) * (in_shape.width() - kernel + 1);
+  std::size_t rows = 1;
+  if (kind == Kind::kConv2d) {
+    rows = (in_shape.height() - kernel + 1) * (in_shape.width() - kernel + 1);
+  } else if (kind == Kind::kMatmul || kind == Kind::kMatmulPair) {
+    rows = in_shape.positions();
+  }
+  if (on_accelerator() && signed_input) rows *= 2;
+  return rows;
+}
+
+std::size_t Step::weight_rows() const {
+  // kMatmulPair loads the second activation as the weight matrix: k wide
+  // however it is oriented (A {t, k} x B^T {u, k} or B {k, u}).
+  if (kind == Kind::kMatmulPair) return in_shape.channels();
+  return weights.rows();
+}
+
+std::size_t Step::weight_cols() const {
+  if (kind == Kind::kMatmulPair) return out_shape.channels();
+  return weights.cols();
 }
 
 CompiledGraph compile(const Graph& g) {
@@ -47,6 +65,42 @@ CompiledGraph compile(const Graph& g) {
     for (std::size_t in : nodes[id].inputs) consumers[in].push_back(id);
   }
 
+  // Non-negativity lattice: which values are provably >= 0 everywhere, and
+  // can therefore stream straight onto the intensity-encoded photonic
+  // input.  Everything else (embeddings, layernorm/GELU outputs, projection
+  // results) marks its consuming accelerator step signed_input, which the
+  // executor serves with a differential x+ / x- double-stream.  The lattice
+  // keeps all pre-transformer graphs (inputs, relu chains, pooling) on the
+  // single-stream path bit-for-bit.
+  std::vector<bool> nonneg(nodes.size(), false);
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    const Node& n = nodes[id];
+    switch (n.op) {
+      case Op::kInput:  // intensity-encoded by the Request contract
+      case Op::kRelu:
+      case Op::kSoftmax:
+        nonneg[id] = true;
+        break;
+      case Op::kMaxPool:
+      case Op::kFlatten:
+      case Op::kSlice:
+        nonneg[id] = nonneg[n.inputs[0]];
+        break;
+      case Op::kAdd:
+        nonneg[id] = nonneg[n.inputs[0]] && nonneg[n.inputs[1]];
+        break;
+      case Op::kConcat: {
+        bool all = true;
+        for (std::size_t in : n.inputs) all = all && nonneg[in];
+        nonneg[id] = all;
+        break;
+      }
+      default:  // matmuls, conv, bias, embedding, layernorm, gelu, mask
+        nonneg[id] = false;
+        break;
+    }
+  }
+
   CompiledGraph cg;
   cg.input_shape = nodes.front().shape;
   cg.output_shape = nodes[output].shape;
@@ -66,6 +120,9 @@ CompiledGraph compile(const Graph& g) {
       case Op::kBias:
       case Op::kSoftmax:
       case Op::kFlatten:
+      case Op::kLayerNorm:
+      case Op::kGelu:
+      case Op::kCausalMask:
         return c;
       case Op::kAdd: {
         // Residuals fuse when the other branch is already materialized.
@@ -94,16 +151,24 @@ CompiledGraph compile(const Graph& g) {
     step.input_slot = slot_of[n.inputs[0]];
     step.in_shape = nodes[n.inputs[0]].shape;
     std::ostringstream label;
+    const auto push_epilogue = [&step](EpilogueOp::Kind kind) -> EpilogueOp& {
+      EpilogueOp op;
+      op.kind = kind;
+      step.epilogue.push_back(std::move(op));
+      return step.epilogue.back();
+    };
     switch (n.op) {
       case Op::kMatmul:
         step.kind = Step::Kind::kMatmul;
         step.weights = n.weights;
+        step.signed_input = !nonneg[n.inputs[0]];
         label << "matmul " << n.weights.rows() << "x" << n.weights.cols();
         break;
       case Op::kConv2d:
         step.kind = Step::Kind::kConv2d;
         step.weights = n.weights;
         step.kernel = n.kernel;
+        step.signed_input = !nonneg[n.inputs[0]];
         label << "conv2d " << n.kernel << "x" << n.kernel << " -> "
               << n.weights.cols() << "ch";
         break;
@@ -112,21 +177,68 @@ CompiledGraph compile(const Graph& g) {
         step.pool = n.pool;
         label << "maxpool " << n.pool << "x" << n.pool;
         break;
+      case Op::kMatmulPair: {
+        step.kind = Step::Kind::kMatmulPair;
+        const std::size_t rhs = slot_of[n.inputs[1]];
+        ensures(rhs != kNoSlot, "matmul_pair operand was never materialized");
+        step.rhs_slot = rhs;
+        step.transpose_b = n.transpose_b;
+        step.signed_input = !nonneg[n.inputs[0]];
+        label << "matmul_pair" << (n.transpose_b ? " ABt" : " AB");
+        break;
+      }
+      case Op::kEmbedding:
+        step.kind = Step::Kind::kEmbedding;
+        step.weights = n.weights;
+        step.weights2 = n.weights2;
+        label << "embedding " << n.weights.rows() << "->" << n.weights.cols();
+        break;
+      case Op::kSlice:
+        step.kind = Step::Kind::kSlice;
+        step.offset = n.offset;
+        label << "slice [" << n.offset << ":"
+              << n.offset + n.shape.channels() << "]";
+        break;
+      case Op::kConcat: {
+        step.kind = Step::Kind::kConcat;
+        for (std::size_t i = 1; i < n.inputs.size(); ++i) {
+          const std::size_t slot = slot_of[n.inputs[i]];
+          ensures(slot != kNoSlot, "concat operand was never materialized");
+          step.extra_slots.push_back(slot);
+        }
+        label << "concat x" << n.inputs.size();
+        break;
+      }
       case Op::kRelu:
-        step.epilogue.push_back({EpilogueOp::Kind::kRelu, {}, 0});
+        push_epilogue(EpilogueOp::Kind::kRelu);
         label << "relu";
         break;
       case Op::kBias:
-        step.epilogue.push_back({EpilogueOp::Kind::kBias, n.bias, 0});
+        push_epilogue(EpilogueOp::Kind::kBias).bias = n.bias;
         label << "bias";
         break;
       case Op::kSoftmax:
-        step.epilogue.push_back({EpilogueOp::Kind::kSoftmax, {}, 0});
+        push_epilogue(EpilogueOp::Kind::kSoftmax);
         label << "softmax";
         break;
+      case Op::kGelu:
+        push_epilogue(EpilogueOp::Kind::kGelu);
+        label << "gelu";
+        break;
+      case Op::kLayerNorm: {
+        EpilogueOp& op = push_epilogue(EpilogueOp::Kind::kLayerNorm);
+        op.gain = n.gain;
+        op.bias = n.bias;
+        label << "layernorm";
+        break;
+      }
+      case Op::kCausalMask:
+        push_epilogue(EpilogueOp::Kind::kCausalMask).scale = n.scale;
+        label << "causal_mask";
+        break;
       case Op::kAdd:
-        step.epilogue.push_back(
-            {EpilogueOp::Kind::kResidual, {}, slot_of[n.inputs[1]]});
+        push_epilogue(EpilogueOp::Kind::kResidual).residual_slot =
+            slot_of[n.inputs[1]];
         label << "add";
         break;
       case Op::kInput:
@@ -142,24 +254,39 @@ CompiledGraph compile(const Graph& g) {
       const Node& cn = nodes[c];
       switch (cn.op) {
         case Op::kRelu:
-          step.epilogue.push_back({EpilogueOp::Kind::kRelu, {}, 0});
+          push_epilogue(EpilogueOp::Kind::kRelu);
           label << " +relu";
           break;
         case Op::kBias:
-          step.epilogue.push_back({EpilogueOp::Kind::kBias, cn.bias, 0});
+          push_epilogue(EpilogueOp::Kind::kBias).bias = cn.bias;
           label << " +bias";
           break;
         case Op::kSoftmax:
-          step.epilogue.push_back({EpilogueOp::Kind::kSoftmax, {}, 0});
+          push_epilogue(EpilogueOp::Kind::kSoftmax);
           label << " +softmax";
+          break;
+        case Op::kGelu:
+          push_epilogue(EpilogueOp::Kind::kGelu);
+          label << " +gelu";
+          break;
+        case Op::kLayerNorm: {
+          EpilogueOp& op = push_epilogue(EpilogueOp::Kind::kLayerNorm);
+          op.gain = cn.gain;
+          op.bias = cn.bias;
+          label << " +layernorm";
+          break;
+        }
+        case Op::kCausalMask:
+          push_epilogue(EpilogueOp::Kind::kCausalMask).scale = cn.scale;
+          label << " +causal_mask";
           break;
         case Op::kFlatten:
           break;  // metadata only; the tail's shape absorbs it
         case Op::kAdd: {
           const std::size_t other =
               cn.inputs[0] == tail ? cn.inputs[1] : cn.inputs[0];
-          step.epilogue.push_back(
-              {EpilogueOp::Kind::kResidual, {}, slot_of[other]});
+          push_epilogue(EpilogueOp::Kind::kResidual).residual_slot =
+              slot_of[other];
           label << " +add";
           break;
         }
@@ -194,8 +321,8 @@ PassProfile CompiledGraph::pass_profile(std::size_t tile_m, std::size_t tile_k,
   for (std::size_t i = 0; i < steps.size(); ++i) {
     const Step& step = steps[i];
     if (!step.on_accelerator()) continue;
-    const std::size_t tiles = div_ceil(step.weights.rows(), tile_k) *
-                              div_ceil(step.weights.cols(), tile_m) *
+    const std::size_t tiles = div_ceil(step.weight_rows(), tile_k) *
+                              div_ceil(step.weight_cols(), tile_m) *
                               (differential ? 2 : 1);
     profile.steps.push_back({i, tiles, step.rows_per_sample()});
     profile.total_passes += tiles;
@@ -214,8 +341,8 @@ std::string CompiledGraph::schedule_dump(std::size_t tile_m,
     out << "step " << i << ": " << step.label;
     if (step.on_accelerator()) {
       const StepPasses& sp = profile.steps[next_accel++];
-      out << " | weights " << step.weights.rows() << "x"
-          << step.weights.cols() << " | " << sp.passes << " tile pass"
+      out << " | weights " << step.weight_rows() << "x"
+          << step.weight_cols() << " | " << sp.passes << " tile pass"
           << (sp.passes == 1 ? "" : "es") << " | " << sp.rows_per_sample
           << " row" << (sp.rows_per_sample == 1 ? "" : "s") << "/sample";
     } else {

@@ -39,6 +39,93 @@ Matrix softmax(const Matrix& logits) {
   return out;
 }
 
+void softmax_chunks(Matrix& value, std::size_t chunk) {
+  expects(chunk >= 1 && value.cols() % chunk == 0,
+          "softmax chunk must divide the row width");
+  for (std::size_t s = 0; s < value.rows(); ++s) {
+    for (std::size_t base = 0; base < value.cols(); base += chunk) {
+      double chunk_max = value(s, base);
+      for (std::size_t j = 1; j < chunk; ++j)
+        chunk_max = std::max(chunk_max, value(s, base + j));
+      double sum = 0.0;
+      for (std::size_t j = 0; j < chunk; ++j) {
+        value(s, base + j) = std::exp(value(s, base + j) - chunk_max);
+        sum += value(s, base + j);
+      }
+      for (std::size_t j = 0; j < chunk; ++j) value(s, base + j) /= sum;
+    }
+  }
+}
+
+void layernorm_chunks(Matrix& value, std::size_t chunk,
+                      const std::vector<double>& gain,
+                      const std::vector<double>& bias) {
+  expects(chunk >= 2 && value.cols() % chunk == 0,
+          "layernorm chunk must divide the row width and be >= 2");
+  expects(gain.size() == chunk && bias.size() == chunk,
+          "layernorm gain/bias must match the chunk width");
+  for (std::size_t s = 0; s < value.rows(); ++s) {
+    for (std::size_t base = 0; base < value.cols(); base += chunk) {
+      double mean = 0.0;
+      for (std::size_t j = 0; j < chunk; ++j) mean += value(s, base + j);
+      mean /= static_cast<double>(chunk);
+      double var = 0.0;
+      for (std::size_t j = 0; j < chunk; ++j) {
+        const double d = value(s, base + j) - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(chunk);
+      const double inv = 1.0 / std::sqrt(var + kLayerNormEpsilon);
+      for (std::size_t j = 0; j < chunk; ++j) {
+        value(s, base + j) =
+            gain[j] * ((value(s, base + j) - mean) * inv) + bias[j];
+      }
+    }
+  }
+}
+
+void gelu_inplace(Matrix& value) {
+  // tanh approximation: 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3))).
+  constexpr double kSqrt2OverPi = 0.7978845608028654;
+  for (double& v : value.data()) {
+    v = 0.5 * v * (1.0 + std::tanh(kSqrt2OverPi * (v + 0.044715 * v * v * v)));
+  }
+}
+
+void causal_mask_chunks(Matrix& value, std::size_t chunk, double scale) {
+  // Large finite negative rather than -inf: exp(x - max) underflows to an
+  // exact 0.0 without ever producing inf - inf NaNs in the max-subtract.
+  constexpr double kMaskedLogit = -1e30;
+  expects(chunk >= 1 && value.cols() % chunk == 0,
+          "causal mask chunk must divide the row width");
+  const std::size_t positions = value.cols() / chunk;
+  expects(positions == chunk, "causal mask needs a square {t, t} value");
+  for (std::size_t s = 0; s < value.rows(); ++s) {
+    for (std::size_t p = 0; p < positions; ++p) {
+      for (std::size_t j = 0; j < chunk; ++j) {
+        double& v = value.data()[s * value.cols() + p * chunk + j];
+        v = j <= p ? v * scale : kMaskedLogit;
+      }
+    }
+  }
+}
+
+Matrix signed_matmul(MatmulBackend& backend, const Matrix& x, const Matrix& w,
+                     WeightPlanCache* cache) {
+  Matrix pos(x.rows(), x.cols());
+  Matrix neg(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.data().size(); ++i) {
+    const double v = x.data()[i];
+    pos.data()[i] = v > 0.0 ? v : 0.0;
+    neg.data()[i] = v < 0.0 ? -v : 0.0;
+  }
+  Matrix y = cache != nullptr ? backend.matmul_cached(pos, w, *cache)
+                              : backend.matmul(pos, w);
+  y -= cache != nullptr ? backend.matmul_cached(neg, w, *cache)
+                        : backend.matmul(neg, w);
+  return y;
+}
+
 std::vector<std::size_t> argmax_rows(const Matrix& m) {
   expects(m.cols() >= 1, "argmax of empty rows");
   std::vector<std::size_t> out(m.rows(), 0);

@@ -28,6 +28,42 @@ Matrix relu(Matrix x);
 /// Row-wise softmax.
 Matrix softmax(const Matrix& logits);
 
+/// Variance floor shared by every layernorm implementation in the repo, so
+/// the graph executor and the incremental transformer decoder agree bitwise.
+constexpr double kLayerNormEpsilon = 1e-5;
+
+/// Softmax over each contiguous `chunk`-wide slice of every row, in place.
+/// chunk == cols is exactly softmax() — the arithmetic (max-subtract, exp,
+/// normalize, in index order) is identical, which keeps the graph
+/// executor's rank-1 epilogue bit-for-bit.
+void softmax_chunks(Matrix& value, std::size_t chunk);
+
+/// Layer normalization over each `chunk`-wide slice of every row, in
+/// place: shift to the chunk mean, scale by 1/sqrt(var + epsilon), then
+/// apply per-feature gain and bias (both length == chunk).
+void layernorm_chunks(Matrix& value, std::size_t chunk,
+                      const std::vector<double>& gain,
+                      const std::vector<double>& bias);
+
+/// Elementwise GELU (tanh approximation), in place.
+void gelu_inplace(Matrix& value);
+
+/// Causal attention mask over flattened {t, t} score matrices stored as
+/// rows of t chunks of width `chunk` == t: chunk p keeps entries j <= p
+/// scaled by `scale` and forces j > p to a large negative logit (softmax
+/// sends them to exactly zero).
+void causal_mask_chunks(Matrix& value, std::size_t chunk, double scale);
+
+/// y = x W for a signed activation x through a backend whose matmul
+/// contract requires non-negative (intensity-encoded) inputs: differential
+/// input streaming.  x splits into x+ = max(x, 0) and x- = max(-x, 0),
+/// both halves stream through the same weight plan, and the results
+/// recombine digitally as y = y+ - y- — the input-side mirror of the
+/// differential W+/W- weight trick.  Uses `cache` for both passes when
+/// given (the graph executor hands each step's plan cache).
+Matrix signed_matmul(MatmulBackend& backend, const Matrix& x, const Matrix& w,
+                     WeightPlanCache* cache = nullptr);
+
 /// Index of the maximum element in each row.
 std::vector<std::size_t> argmax_rows(const Matrix& m);
 

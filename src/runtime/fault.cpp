@@ -33,10 +33,12 @@ const char* to_string(FaultEvent::Kind kind) {
 
 std::vector<FaultEvent> poisson_fault_schedule(double rate, double horizon,
                                                std::size_t cores,
-                                               std::uint64_t seed) {
+                                               std::uint64_t seed,
+                                               std::size_t rows) {
   expects(rate >= 0.0, "fault rate must be non-negative");
   expects(horizon >= 0.0, "horizon must be non-negative");
   expects(cores >= 1, "fleet must have at least one core");
+  expects(rows >= 1, "cores must have at least one ADC row");
   std::vector<FaultEvent> schedule;
   if (rate == 0.0) return schedule;
   Rng rng(seed);
@@ -49,6 +51,9 @@ std::vector<FaultEvent> poisson_fault_schedule(double rate, double horizon,
     event.kind = pick <= 1 ? FaultEvent::Kind::kDeadRings
                  : pick == 2 ? FaultEvent::Kind::kStuckHeater
                              : FaultEvent::Kind::kAdcLadder;
+    // Drawn for every event (only ADC strikes read it) so each event
+    // consumes a fixed draw count and the stream stays kind-independent.
+    event.row = rng.below(rows);
     event.seed = rng.next_u64() | 1u;  // distinct nonzero ring-site stream
     schedule.push_back(event);
     t += rng.exponential(rate);

@@ -49,10 +49,14 @@ const char* to_string(FaultEvent::Kind kind);
 /// `rate` [faults/s] over [0, horizon), each event hitting a uniformly
 /// drawn core.  Kinds are drawn 2:1:1 dead-rings : stuck-heater :
 /// ADC-ladder — dead rings corrupt accuracy, the other two cost capacity
-/// once the self-test fails the core.  Pure function of the arguments.
+/// once the self-test fails the core.  ADC-ladder strikes kill a
+/// uniformly drawn row in [0, rows) — every event consumes the same draw
+/// count, so the stream stays aligned whatever kinds come up.  Pure
+/// function of the arguments.
 std::vector<FaultEvent> poisson_fault_schedule(double rate, double horizon,
                                                std::size_t cores,
-                                               std::uint64_t seed);
+                                               std::uint64_t seed,
+                                               std::size_t rows = 16);
 
 }  // namespace ptc::runtime
 

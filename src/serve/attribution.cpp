@@ -1,0 +1,38 @@
+#include "serve/attribution.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/expects.hpp"
+
+namespace ptc::serve {
+
+std::map<std::string, std::size_t> split_exact(std::size_t total,
+                                               const TenantShares& shares,
+                                               std::size_t weight_sum) {
+  expects(weight_sum >= 1, "split_exact needs a positive weight sum");
+  std::map<std::string, std::size_t> out;
+  std::size_t assigned = 0;
+  std::vector<std::pair<std::size_t, const std::string*>> remainders;
+  remainders.reserve(shares.size());
+  for (const auto& [tenant, count] : shares) {
+    const std::size_t base = total * count / weight_sum;
+    out[tenant] = base;
+    assigned += base;
+    remainders.emplace_back(total * count % weight_sum, &tenant);
+  }
+  // Hand the leftover units to the largest remainders; stable_sort keeps
+  // the sorted-tenant order among ties.
+  std::stable_sort(
+      remainders.begin(), remainders.end(),
+      [](const auto& a, const auto& b) { return a.first > b.first; });
+  expects(total - assigned <= remainders.size(),
+          "largest-remainder leftover exceeds the tenant count");
+  for (std::size_t i = 0; i < total - assigned; ++i) {
+    ++out[*remainders[i].second];
+  }
+  return out;
+}
+
+}  // namespace ptc::serve

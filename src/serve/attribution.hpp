@@ -1,0 +1,32 @@
+#ifndef PTC_SERVE_ATTRIBUTION_HPP
+#define PTC_SERVE_ATTRIBUTION_HPP
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+/// Exact integer cost apportionment shared by the batch Server and the
+/// token-level TokenServer.  Both split every batch/step cost across the
+/// participating tenants; keeping the arithmetic in one place is what
+/// makes the two layers' conservation contracts (tenant rows sum to the
+/// fleet totals bit-exactly) the same contract.
+namespace ptc::serve {
+
+/// Work units one tenant contributed to the current batch/step — the
+/// attribution weights.  std::map iteration gives sorted-tenant order,
+/// which fixes the split's tie-breaks and the summation order
+/// deterministically.
+using TenantShares = std::map<std::string, std::size_t>;
+
+/// Splits the integer quantity `total` across tenants proportionally to
+/// their share counts, exactly: largest-remainder apportionment, remainder
+/// ties broken by tenant order.  `weight_sum` is the sum of all share
+/// counts.  The shares sum to `total` — no quantity is created or dropped —
+/// which is what keeps integer cost conservation bit-exact by construction.
+std::map<std::string, std::size_t> split_exact(std::size_t total,
+                                               const TenantShares& shares,
+                                               std::size_t weight_sum);
+
+}  // namespace ptc::serve
+
+#endif  // PTC_SERVE_ATTRIBUTION_HPP

@@ -66,6 +66,20 @@ struct TenantCost {
   /// Requests refused by degraded-capacity load shedding (per-tenant —
   /// shedding is the one cost a tenant pays directly, in lost requests).
   std::size_t shed_requests = 0;
+
+  // --- token serving (TokenServer runs only; zero for batch runs) ----------
+  /// Decoded tokens (prefill + generation — every decode step that fed one
+  /// of this tenant's tokens through the fleet).
+  std::size_t tokens = 0;
+  /// KV-cache residency integral [row-seconds]: this tenant's cached K/V
+  /// rows x the modeled time they occupied fleet memory.  The token-serving
+  /// analogue of weight-tile residency, and what `TEN:COST?` bills a tenant
+  /// whose long contexts crowd the KV budget.
+  double kv_row_seconds = 0.0;
+  /// KV rows dropped when the scheduler preempted this tenant's requests.
+  std::size_t kv_evicted_rows = 0;
+  /// Times one of this tenant's requests was preempted for KV budget.
+  std::size_t preemptions = 0;
 };
 
 /// Per-objective summary of one run's SLO evaluation (serve/slo.hpp).

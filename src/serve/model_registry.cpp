@@ -18,7 +18,8 @@ void ModelRegistry::add(const std::string& name, const nn::Mlp& model) {
 
 void ModelRegistry::add_graph(const std::string& name, const graph::Graph& g) {
   expects(!name.empty(), "model name must be non-empty");
-  expects(!contains(name), "model name already registered");
+  expects(!contains(name) && !is_transformer(name),
+          "model name already registered");
 
   // The pass profile mirrors nn::plan_tiled_matmul: a k x m weight matrix
   // cuts into ceil(k / cols) x ceil(m / rows) tiles, twice under the
@@ -43,6 +44,41 @@ void ModelRegistry::add_graph(const std::string& name, const graph::Graph& g) {
 
 bool ModelRegistry::contains(const std::string& name) const {
   return models_.count(name) > 0;
+}
+
+void ModelRegistry::add_transformer(const std::string& name,
+                                    const nn::TransformerModel& model) {
+  expects(!name.empty(), "model name must be non-empty");
+  expects(!contains(name) && !is_transformer(name),
+          "model name already registered");
+  expects(!model.layers().empty(), "transformer has no layers");
+  transformers_.emplace(name, model);
+}
+
+bool ModelRegistry::is_transformer(const std::string& name) const {
+  return transformers_.count(name) > 0;
+}
+
+const nn::TransformerModel& ModelRegistry::transformer(
+    const std::string& name) const {
+  const auto it = transformers_.find(name);
+  expects(it != transformers_.end(), "unknown transformer name");
+  return it->second;
+}
+
+std::size_t ModelRegistry::transformer_weight_passes(
+    const std::string& name) const {
+  const core::TensorCore& probe = accelerator_.core(0);
+  return transformer(name).weight_passes(
+      probe.rows(), probe.cols(), backend_.options().differential_weights);
+}
+
+std::size_t ModelRegistry::transformer_attention_passes(
+    const std::string& name, std::size_t context_len) const {
+  const core::TensorCore& probe = accelerator_.core(0);
+  return transformer(name).attention_passes(
+      context_len, probe.rows(), probe.cols(),
+      backend_.options().differential_weights);
 }
 
 const ModelRegistry::Entry& ModelRegistry::entry(

@@ -11,6 +11,7 @@
 #include "graph/ir.hpp"
 #include "nn/backend.hpp"
 #include "nn/mlp.hpp"
+#include "nn/transformer.hpp"
 #include "runtime/accelerator.hpp"
 #include "runtime/backend.hpp"
 
@@ -47,6 +48,36 @@ class ModelRegistry {
   /// Registers an arbitrary dataflow graph under `name` (must be unique) —
   /// how CNN and residual workloads enter the serving layer.
   void add_graph(const std::string& name, const graph::Graph& g);
+
+  /// Registers a decoder-only transformer under `name` (unique across both
+  /// stores).  Token-level serving decodes it incrementally through the
+  /// fleet backend (TokenServer); the full-sequence graph path stays
+  /// available via the model itself.
+  void add_transformer(const std::string& name,
+                       const nn::TransformerModel& model);
+
+  /// True when `name` names a registered transformer (vs a batch graph).
+  bool is_transformer(const std::string& name) const;
+
+  /// A registered transformer's weights.
+  const nn::TransformerModel& transformer(const std::string& name) const;
+
+  /// Static weight-tile passes of one decode step of this transformer at
+  /// the fleet's core geometry — the residency-eligible passes (identical
+  /// every step, so back-to-back steps of the resident model reuse them
+  /// warm).  Attention passes come on top, per request, per context length
+  /// (nn::TransformerModel::attention_passes) and are never warm.
+  std::size_t transformer_weight_passes(const std::string& name) const;
+
+  /// Attention passes of one decode step for one request with the given
+  /// post-append context length, at the fleet's core geometry.
+  std::size_t transformer_attention_passes(const std::string& name,
+                                           std::size_t context_len) const;
+
+  /// The fleet-wide backend decode steps stream through (same one
+  /// run_batch uses, so token and batch serving share residency state and
+  /// the energy ledger).
+  runtime::AcceleratorBackend& decode_backend() { return backend_; }
 
   /// The fleet every registered model executes on.
   runtime::Accelerator& accelerator() { return accelerator_; }
@@ -107,6 +138,7 @@ class ModelRegistry {
   runtime::AcceleratorBackend backend_;
   nn::FloatBackend reference_backend_;
   std::map<std::string, Entry> models_;
+  std::map<std::string, nn::TransformerModel> transformers_;
   std::string resident_;
 };
 

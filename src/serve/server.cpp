@@ -9,6 +9,7 @@
 
 #include "common/expects.hpp"
 #include "nn/layers.hpp"
+#include "serve/attribution.hpp"
 
 namespace ptc::serve {
 namespace {
@@ -21,41 +22,6 @@ telemetry::HistogramOptions latency_histogram_options() {
   options.max = 1e4;
   options.buckets_per_decade = 32;
   return options;
-}
-
-/// Requests one tenant contributed to the current batch — the attribution
-/// weights.  std::map iteration gives sorted-tenant order, which fixes the
-/// split's tie-breaks and the summation order deterministically.
-using TenantShares = std::map<std::string, std::size_t>;
-
-/// Splits the integer quantity `total` across the batch's tenants
-/// proportionally to their request counts, exactly: largest-remainder
-/// apportionment, remainder ties broken by tenant order.  The shares sum
-/// to `total` — no quantity is created or dropped — which is what keeps
-/// integer cost conservation bit-exact by construction.
-std::map<std::string, std::size_t> split_exact(std::size_t total,
-                                               const TenantShares& shares,
-                                               std::size_t batch_size) {
-  std::map<std::string, std::size_t> out;
-  std::size_t assigned = 0;
-  std::vector<std::pair<std::size_t, const std::string*>> remainders;
-  remainders.reserve(shares.size());
-  for (const auto& [tenant, count] : shares) {
-    const std::size_t base = total * count / batch_size;
-    out[tenant] = base;
-    assigned += base;
-    remainders.emplace_back(total * count % batch_size, &tenant);
-  }
-  // Hand the leftover units to the largest remainders; stable_sort keeps
-  // the sorted-tenant order among ties.
-  std::stable_sort(remainders.begin(), remainders.end(),
-                   [](const auto& a, const auto& b) { return a.first > b.first; });
-  expects(total - assigned <= remainders.size(),
-          "largest-remainder leftover exceeds the tenant count");
-  for (std::size_t i = 0; i < total - assigned; ++i) {
-    ++out[*remainders[i].second];
-  }
-  return out;
 }
 
 }  // namespace

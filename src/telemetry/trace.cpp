@@ -331,6 +331,17 @@ std::vector<std::string> lint_chrome_trace(const std::string& json_text) {
         require_number("core");
       } else if (name == "core_evicted" || name == "core_readmitted") {
         require_number("core");
+      } else if (name == "token_step") {
+        // Token-serving cadence (serve/token_server.cpp): dashboards plot
+        // batch occupancy and pass mix per decode step.
+        require_number("batch");
+        require_number("passes");
+      } else if (name == "kv_evicted") {
+        require_string("tenant");
+        require_number("rows");
+      } else if (name == "request_preempted") {
+        require_string("tenant");
+        require_number("request");
       }
     }
   }

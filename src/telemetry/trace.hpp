@@ -137,7 +137,9 @@ const char* trace_path_from_env();
 /// monotone in time per (pid, tid, name), and contract-bearing instants
 /// carry their consumer arg schemas — health_alert (string "slo", numeric
 /// "core"), fault_injected / fault_cleared (string "kind", numeric
-/// "core"), core_evicted / core_readmitted (numeric "core").  Returns
+/// "core"), core_evicted / core_readmitted (numeric "core"), token_step
+/// (numeric "batch" and "passes"), kv_evicted (string "tenant", numeric
+/// "rows"), request_preempted (string "tenant", numeric "request").  Returns
 /// human-readable problems (empty == lint-clean).  This is the trace-lint
 /// gate CI runs via tests/test_telemetry.cpp.
 std::vector<std::string> lint_chrome_trace(const std::string& json_text);

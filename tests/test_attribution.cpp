@@ -14,12 +14,15 @@
 
 #include "common/rng.hpp"
 #include "nn/mlp.hpp"
+#include "nn/transformer.hpp"
 #include "runtime/accelerator.hpp"
+#include "serve/attribution.hpp"
 #include "serve/batcher.hpp"
 #include "serve/load_generator.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/server.hpp"
 #include "serve/slo.hpp"
+#include "serve/token_server.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -235,6 +238,170 @@ TEST(Attribution, TenantMetricsFamiliesMatchCostRows) {
   // and sums to the fleet total (same addition order as the schedule).
   ASSERT_TRUE(metrics.contains("fleet_core_busy_seconds_total"));
   EXPECT_EQ(metrics.label_sets("fleet_core_busy_seconds_total").size(), 4u);
+}
+
+// --- token-serving attribution ----------------------------------------------
+
+/// Multi-tenant transformer scenario under continuous batching with a KV
+/// budget tight enough to force preemptions — every token-serving cost
+/// family (tokens, passes, kv_row_seconds, evictions, preemptions) lands
+/// in the attribution.
+TokenServeReport token_golden_run(std::size_t threads) {
+  runtime::AcceleratorConfig config;
+  config.cores = 4;
+  config.threads = threads;
+  config.variation.seed = 7;
+  runtime::Accelerator accelerator(config);
+  ModelRegistry registry(accelerator);
+
+  nn::TransformerConfig tf_config;
+  tf_config.vocab = 16;
+  tf_config.d_model = 8;
+  tf_config.heads = 2;
+  tf_config.layers = 2;
+  tf_config.d_ff = 12;
+  tf_config.max_seq = 24;
+  Rng rng(71);
+  registry.add_transformer("tf", nn::TransformerModel::random(tf_config, rng));
+
+  // Near-simultaneous arrivals (decode steps are ns-scale) so batches
+  // actually form and tenants share steps.
+  std::vector<TokenRequest> requests;
+  Rng load(72);
+  const std::vector<std::string> tenants = {"acme",    "acme",   "globex",
+                                            "initech", "globex", "acme"};
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    TokenRequest request;
+    request.id = i;
+    request.tenant = tenants[i];
+    request.model = "tf";
+    request.arrival = static_cast<double>(i) * 1e-9;
+    const std::size_t prompt_len = 1 + load.below(4);
+    for (std::size_t t = 0; t < prompt_len; ++t) {
+      request.prompt.push_back(load.below(tf_config.vocab));
+    }
+    request.max_new = 3 + load.below(6);
+    requests.push_back(std::move(request));
+  }
+
+  TokenServer server(registry);
+  TokenPolicy policy;
+  policy.schedule = TokenPolicy::Schedule::kContinuous;
+  policy.max_batch = 8;
+  policy.kv_budget_rows = 8 * tf_config.layers;  // tight: forces preemption
+  return server.run(requests, policy);
+}
+
+/// Asserts the token-serving conservation contract on `report`, bitwise.
+void expect_token_conserved(const TokenServeReport& report) {
+  std::size_t requests = 0;
+  std::size_t tokens = 0;
+  std::size_t passes = 0;
+  std::size_t warm = 0;
+  std::size_t evicted = 0;
+  std::size_t preemptions = 0;
+  double busy = 0.0;
+  double energy = 0.0;
+  double kv_row_seconds = 0.0;
+  // Same sorted-tenant order the server derived the totals in, so the
+  // sums must be bit-identical, not merely close.
+  for (const TenantCost& cost : report.tenant_costs) {
+    requests += cost.requests;
+    tokens += cost.tokens;
+    passes += cost.passes;
+    warm += cost.warm_passes;
+    evicted += cost.kv_evicted_rows;
+    preemptions += cost.preemptions;
+    busy += cost.busy_seconds;
+    energy += cost.energy_joules;
+    kv_row_seconds += cost.kv_row_seconds;
+  }
+  EXPECT_EQ(requests, report.completed);
+  EXPECT_EQ(tokens, report.tokens);
+  EXPECT_EQ(passes, report.passes);
+  EXPECT_EQ(warm, report.warm_passes);
+  EXPECT_EQ(evicted, report.kv_evicted_rows);
+  EXPECT_EQ(preemptions, report.preemptions);
+  EXPECT_EQ(busy, report.busy);      // bit-exact, no tolerance
+  EXPECT_EQ(energy, report.energy);
+  EXPECT_EQ(kv_row_seconds, report.kv_row_seconds);
+}
+
+TEST(TokenAttribution, ConservesTokenServingTotalsBitExactly) {
+  const TokenServeReport report = token_golden_run(0);
+  ASSERT_EQ(report.tenant_costs.size(), 3u);
+  expect_token_conserved(report);
+
+  // The scenario exercised every cost family, not just the easy ones.
+  EXPECT_GT(report.tokens, 0u);
+  EXPECT_GT(report.kv_row_seconds, 0.0);
+  EXPECT_GT(report.preemptions, 0u);
+  EXPECT_GT(report.kv_evicted_rows, 0u);
+  EXPECT_GT(report.energy, 0.0);
+
+  // Every tenant that sent requests was billed real token costs.
+  for (const char* tenant : {"acme", "globex", "initech"}) {
+    const TenantCost* cost = report.tenant_cost(tenant);
+    ASSERT_NE(cost, nullptr) << tenant;
+    EXPECT_GT(cost->tokens, 0u) << tenant;
+    EXPECT_GT(cost->kv_row_seconds, 0.0) << tenant;
+    EXPECT_GT(cost->energy_joules, 0.0) << tenant;
+  }
+  EXPECT_EQ(report.tenant_cost("unknown"), nullptr);
+}
+
+TEST(TokenAttribution, TenantRowsIdenticalAcrossHostThreadCounts) {
+  const TokenServeReport r1 = token_golden_run(1);
+  const TokenServeReport r2 = token_golden_run(2);
+  const TokenServeReport r8 = token_golden_run(8);
+  for (const TokenServeReport* other : {&r2, &r8}) {
+    EXPECT_EQ(r1.makespan, other->makespan);
+    EXPECT_EQ(r1.energy, other->energy);
+    EXPECT_EQ(r1.kv_row_seconds, other->kv_row_seconds);
+    ASSERT_EQ(r1.tenant_costs.size(), other->tenant_costs.size());
+    for (std::size_t i = 0; i < r1.tenant_costs.size(); ++i) {
+      const TenantCost& a = r1.tenant_costs[i];
+      const TenantCost& b = other->tenant_costs[i];
+      EXPECT_EQ(a.tenant, b.tenant);
+      EXPECT_EQ(a.requests, b.requests);
+      EXPECT_EQ(a.tokens, b.tokens);
+      EXPECT_EQ(a.passes, b.passes);
+      EXPECT_EQ(a.warm_passes, b.warm_passes);
+      EXPECT_EQ(a.kv_evicted_rows, b.kv_evicted_rows);
+      EXPECT_EQ(a.preemptions, b.preemptions);
+      EXPECT_EQ(a.busy_seconds, b.busy_seconds);  // bitwise
+      EXPECT_EQ(a.energy_joules, b.energy_joules);
+      EXPECT_EQ(a.kv_row_seconds, b.kv_row_seconds);
+    }
+    expect_token_conserved(*other);
+  }
+}
+
+TEST(TokenAttribution, SplitExactConservesAndBreaksTiesByOrder) {
+  // Largest-remainder apportionment: exact sum, at-most-one-unit skew.
+  const TenantShares shares = {{"a", 1}, {"b", 1}, {"c", 2}};
+  const auto split = split_exact(10, shares, 4);
+  EXPECT_EQ(split.at("a") + split.at("b") + split.at("c"), 10u);
+  EXPECT_EQ(split.at("c"), 5u);  // exact half
+  // 2.5 each remaining: equal remainders, first-in-map-order wins the
+  // leftover unit.
+  EXPECT_EQ(split.at("a"), 3u);
+  EXPECT_EQ(split.at("b"), 2u);
+
+  // Divisible case: no remainder anywhere.
+  const auto even = split_exact(8, shares, 4);
+  EXPECT_EQ(even.at("a"), 2u);
+  EXPECT_EQ(even.at("b"), 2u);
+  EXPECT_EQ(even.at("c"), 4u);
+
+  // Zero total splits to all zeros; zero-weight tenants get nothing.
+  const auto zero = split_exact(0, shares, 4);
+  EXPECT_EQ(zero.at("a") + zero.at("b") + zero.at("c"), 0u);
+  const auto skewed = split_exact(7, {{"x", 0}, {"y", 3}}, 3);
+  EXPECT_EQ(skewed.at("x"), 0u);
+  EXPECT_EQ(skewed.at("y"), 7u);
+
+  EXPECT_THROW(split_exact(1, shares, 0), std::invalid_argument);
 }
 
 // --- SLO monitors -----------------------------------------------------------

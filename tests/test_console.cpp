@@ -146,6 +146,27 @@ TEST(Console, ServeRunPopulatesReportAndTenants) {
   EXPECT_EQ(fleet.rfind("tenant=(fleet)", 0), 0u) << fleet;
 }
 
+TEST(Console, TokenRunPopulatesTokenReportAndChatTenants) {
+  DemoScenario demo(1);
+  Console console = demo.make_console();
+  const std::string run = console.eval("TOK:RUN?");
+  EXPECT_EQ(run.rfind("OK ", 0), 0u) << run;
+  // The chat tenants answer tenant queries with live token/KV figures.
+  EXPECT_EQ(console.eval("TEN:LIST?"), "chat-free,chat-pro");
+  const std::string cost = console.eval("TEN:COST? chat-pro");
+  EXPECT_EQ(cost.rfind("tenant=chat-pro", 0), 0u) << cost;
+  EXPECT_NE(cost.find(" tokens="), std::string::npos) << cost;
+  EXPECT_NE(cost.find(" kv_row_s="), std::string::npos) << cost;
+  // SNAP? grows the token-serving summary once a token run exists.
+  const std::string snap = console.eval("SNAP?");
+  EXPECT_NE(snap.find(" token_steps="), std::string::npos) << snap;
+  EXPECT_NE(snap.find(" kv_peak_rows="), std::string::npos) << snap;
+  // A batch run afterwards lists both tenant families.
+  console.eval("SERVE:RUN?");
+  EXPECT_EQ(console.eval("TEN:LIST?"),
+            "(fleet),embedded,mobile,chat-free,chat-pro");
+}
+
 TEST(Console, RecalibrateActsOnTheLiveFleet) {
   DemoScenario demo(1);
   Console console = demo.make_console();

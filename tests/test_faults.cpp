@@ -354,6 +354,47 @@ TEST(PoissonFaults, ScheduleIsDeterministicSortedAndRateScaled) {
             schedule.size());
 }
 
+TEST(PoissonFaults, AdcRowIsDrawnPerEventNotPinnedToRowZero) {
+  // Regression: the generator used to leave every ADC-ladder strike on the
+  // default row 0.  Rows must now be seeded draws — in range, spread
+  // across the ladder, and reproducible.
+  const std::vector<FaultEvent> schedule =
+      runtime::poisson_fault_schedule(40e6, 4.0e-6, 8, 905, 16);
+  std::size_t adc_events = 0;
+  std::vector<std::size_t> row_hits(16, 0);
+  for (const FaultEvent& event : schedule) {
+    EXPECT_LT(event.row, 16u);
+    if (event.kind == FaultEvent::Kind::kAdcLadder) {
+      ++adc_events;
+      ++row_hits[event.row];
+    }
+  }
+  ASSERT_GT(adc_events, 8u);  // ~40 expected ADC strikes at this rate
+
+  // Uniform draws over 16 rows cannot concentrate: row 0 is no longer a
+  // sink, and the strikes touch a healthy fraction of the ladder.
+  EXPECT_LT(row_hits[0], adc_events);
+  std::size_t distinct_rows = 0;
+  for (const std::size_t hits : row_hits) distinct_rows += hits > 0 ? 1 : 0;
+  EXPECT_GE(distinct_rows, 6u);
+
+  // Seeded: the row sequence is part of the deterministic stream.
+  const std::vector<FaultEvent> again =
+      runtime::poisson_fault_schedule(40e6, 4.0e-6, 8, 905, 16);
+  ASSERT_EQ(again.size(), schedule.size());
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_EQ(again[i].row, schedule[i].row);
+  }
+
+  // A different ladder geometry stays in range too.
+  for (const FaultEvent& event :
+       runtime::poisson_fault_schedule(40e6, 2.0e-6, 8, 905, 4)) {
+    EXPECT_LT(event.row, 4u);
+  }
+  EXPECT_THROW(runtime::poisson_fault_schedule(1e6, 1e-6, 8, 905, 0),
+               std::invalid_argument);
+}
+
 // ---------------------------------------------------------------------------
 // serve::Server: fault replay, billing, shedding, determinism
 // ---------------------------------------------------------------------------

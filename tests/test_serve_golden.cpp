@@ -21,11 +21,13 @@
 
 #include "common/rng.hpp"
 #include "nn/mlp.hpp"
+#include "nn/transformer.hpp"
 #include "runtime/accelerator.hpp"
 #include "serve/batcher.hpp"
 #include "serve/load_generator.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/server.hpp"
+#include "serve/token_server.hpp"
 
 namespace {
 
@@ -156,6 +158,151 @@ TEST(ServeGolden, MultiTenantTraceMatchesCommittedGoldenValues) {
     ADD_FAILURE() << "updated golden block (review the diff first):\n"
                   << block;
   }
+}
+
+// --- token-serving golden ---------------------------------------------------
+
+// Golden values for the transformer scenario below, produced by this
+// test's print-out (same paste-block update workflow as kGolden).
+constexpr GoldenValue kTokenGolden[] = {
+    {"requests", 6, true},
+    {"steps", 42, true},
+    {"tokens", 84, true},
+    {"passes", 1218, true},
+    {"warm_passes", 0, true},
+    {"kv_peak_rows", 18, true},
+    {"kv_evicted_rows", 80, true},
+    {"preemptions", 20, true},
+    {"makespan", 9.063999999999997e-07, false},
+    {"energy", 5.4112305057391773e-07, false},
+    {"busy", 3.2917000000000002e-06, false},
+    {"kv_row_seconds", 1.15627e-05, false},
+    {"warm_fraction", 0, false},
+    {"tokens_per_second", 92674315.975286886, false},
+    {"energy_per_token", 6.4419410782609252e-09, false},
+    {"total_p99", 9.0139999999999975e-07, false},
+    {"first_token_p99", 3.2140000000000001e-07, false},
+};
+
+TokenServeReport run_token_scenario() {
+  // Same multi-tenant transformer scenario the attribution conservation
+  // tests pin: a 4-core varied fleet, one registered transformer, six
+  // near-simultaneous requests from three tenants under continuous
+  // batching with a KV budget tight enough to force preemption.
+  runtime::AcceleratorConfig config;
+  config.cores = 4;
+  config.variation.seed = 7;
+  runtime::Accelerator accelerator(config);
+  ModelRegistry registry(accelerator);
+  nn::TransformerConfig tf_config;
+  tf_config.vocab = 16;
+  tf_config.d_model = 8;
+  tf_config.heads = 2;
+  tf_config.layers = 2;
+  tf_config.d_ff = 12;
+  tf_config.max_seq = 24;
+  Rng rng(71);
+  registry.add_transformer("tf",
+                           nn::TransformerModel::random(tf_config, rng));
+
+  std::vector<TokenRequest> requests;
+  Rng load(72);
+  const std::vector<std::string> tenants = {"acme",    "acme",   "globex",
+                                            "initech", "globex", "acme"};
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    TokenRequest request;
+    request.id = i;
+    request.tenant = tenants[i];
+    request.model = "tf";
+    request.arrival = static_cast<double>(i) * 1e-9;
+    const std::size_t prompt_len = 1 + load.below(4);
+    for (std::size_t t = 0; t < prompt_len; ++t) {
+      request.prompt.push_back(load.below(tf_config.vocab));
+    }
+    request.max_new = 3 + load.below(6);
+    requests.push_back(std::move(request));
+  }
+
+  TokenServer server(registry);
+  TokenPolicy policy;
+  policy.schedule = TokenPolicy::Schedule::kContinuous;
+  policy.max_batch = 8;
+  policy.kv_budget_rows = 8 * tf_config.layers;
+  return server.run(requests, policy);
+}
+
+std::vector<double> actual_token_values(const TokenServeReport& report) {
+  return {
+      static_cast<double>(report.completed),
+      static_cast<double>(report.steps),
+      static_cast<double>(report.tokens),
+      static_cast<double>(report.passes),
+      static_cast<double>(report.warm_passes),
+      static_cast<double>(report.kv_peak_rows),
+      static_cast<double>(report.kv_evicted_rows),
+      static_cast<double>(report.preemptions),
+      report.makespan,
+      report.energy,
+      report.busy,
+      report.kv_row_seconds,
+      report.warm_fraction(),
+      report.tokens_per_second(),
+      report.energy_per_token(),
+      report.total.p99,
+      report.first_token.p99,
+  };
+}
+
+TEST(ServeGolden, TransformerTokenScenarioMatchesCommittedGoldenValues) {
+  const TokenServeReport report = run_token_scenario();
+  const std::vector<double> actual = actual_token_values(report);
+  ASSERT_EQ(actual.size(), std::size(kTokenGolden));
+
+  bool mismatch = false;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const GoldenValue& golden = kTokenGolden[i];
+    const double scale = std::max(std::abs(golden.expected), 1e-300);
+    const bool ok = golden.exact
+                        ? actual[i] == golden.expected
+                        : std::abs(actual[i] - golden.expected) <= 1e-9 * scale;
+    if (!ok) {
+      mismatch = true;
+      ADD_FAILURE() << "token golden mismatch: " << golden.name
+                    << "\n  expected "
+                    << ::testing::PrintToString(golden.expected)
+                    << "\n  actual   " << ::testing::PrintToString(actual[i])
+                    << (golden.exact ? "  (exact)" : "  (rel tol 1e-9)");
+    }
+  }
+
+  if (mismatch) {
+    std::string block = "constexpr GoldenValue kTokenGolden[] = {\n";
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      char line[160];
+      if (kTokenGolden[i].exact) {
+        std::snprintf(line, sizeof(line), "    {\"%s\", %.0f, true},\n",
+                      kTokenGolden[i].name, actual[i]);
+      } else {
+        std::snprintf(line, sizeof(line), "    {\"%s\", %.17g, false},\n",
+                      kTokenGolden[i].name, actual[i]);
+      }
+      block += line;
+    }
+    block += "};";
+    ADD_FAILURE() << "updated token golden block (review the diff first):\n"
+                  << block;
+  }
+}
+
+TEST(ServeGolden, TokenScenarioIsReproducibleWithinOneProcess) {
+  const TokenServeReport a = run_token_scenario();
+  const TokenServeReport b = run_token_scenario();
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.total.p99, b.total.p99);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.kv_peak_rows, b.kv_peak_rows);
+  EXPECT_EQ(a.preemptions, b.preemptions);
 }
 
 TEST(ServeGolden, ScenarioIsReproducibleWithinOneProcess) {

@@ -22,11 +22,13 @@
 #include "common/json.hpp"
 #include "common/rng.hpp"
 #include "nn/mlp.hpp"
+#include "nn/transformer.hpp"
 #include "runtime/accelerator.hpp"
 #include "serve/batcher.hpp"
 #include "serve/load_generator.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/server.hpp"
+#include "serve/token_server.hpp"
 #include "telemetry/bench_report.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -546,6 +548,112 @@ TEST(Trace, LintEnforcesFaultInstantArgSchemas) {
      "tid": 1, "ts": 4, "args": {"core": 2}}
   ]})";
   EXPECT_TRUE(telemetry::lint_chrome_trace(conforming).empty());
+}
+
+TEST(Trace, LintEnforcesTokenServingInstantArgSchemas) {
+  // token_step instants need numeric "batch" and "passes".
+  const std::string step_missing = R"({"traceEvents": [
+    {"ph": "i", "name": "token_step", "cat": "serve", "pid": 1, "tid": 1,
+     "ts": 3}
+  ]})";
+  EXPECT_EQ(telemetry::lint_chrome_trace(step_missing).size(), 2u);
+
+  const std::string step_wrong = R"({"traceEvents": [
+    {"ph": "i", "name": "token_step", "cat": "serve", "pid": 1, "tid": 1,
+     "ts": 3, "args": {"batch": "four", "passes": "many"}}
+  ]})";
+  EXPECT_EQ(telemetry::lint_chrome_trace(step_wrong).size(), 2u);
+
+  // kv_evicted needs a string "tenant" and numeric "rows".
+  const std::string evict_missing = R"({"traceEvents": [
+    {"ph": "i", "name": "kv_evicted", "cat": "serve", "pid": 1, "tid": 1,
+     "ts": 3, "args": {"rows": 4}}
+  ]})";
+  EXPECT_EQ(telemetry::lint_chrome_trace(evict_missing).size(), 1u);
+
+  const std::string evict_wrong = R"({"traceEvents": [
+    {"ph": "i", "name": "kv_evicted", "cat": "serve", "pid": 1, "tid": 1,
+     "ts": 3, "args": {"tenant": 7, "rows": "four"}}
+  ]})";
+  EXPECT_EQ(telemetry::lint_chrome_trace(evict_wrong).size(), 2u);
+
+  // request_preempted needs a string "tenant" and numeric "request".
+  const std::string preempt_missing = R"({"traceEvents": [
+    {"ph": "i", "name": "request_preempted", "cat": "serve", "pid": 1,
+     "tid": 1, "ts": 3}
+  ]})";
+  EXPECT_EQ(telemetry::lint_chrome_trace(preempt_missing).size(), 2u);
+
+  const std::string conforming = R"({"traceEvents": [
+    {"ph": "i", "name": "token_step", "cat": "serve", "pid": 1, "tid": 1,
+     "ts": 1, "args": {"batch": 4, "passes": 30, "warm_passes": 26}},
+    {"ph": "i", "name": "request_preempted", "cat": "serve", "pid": 1,
+     "tid": 1, "ts": 2, "args": {"tenant": "acme", "request": 3}},
+    {"ph": "i", "name": "kv_evicted", "cat": "serve", "pid": 1, "tid": 1,
+     "ts": 2, "args": {"tenant": "acme", "rows": 6}}
+  ]})";
+  EXPECT_TRUE(telemetry::lint_chrome_trace(conforming).empty());
+}
+
+TEST(Trace, TokenServerRunEmitsLintCleanTokenInstants) {
+  // An end-to-end token-serving run under a tight KV budget emits
+  // token_step / request_preempted / kv_evicted instants that pass the
+  // linter's arg schemas.
+  runtime::AcceleratorConfig config;
+  config.cores = 4;
+  config.variation.seed = 7;
+  runtime::Accelerator accelerator(config);
+  serve::ModelRegistry registry(accelerator);
+  nn::TransformerConfig tf_config;
+  tf_config.vocab = 16;
+  tf_config.d_model = 8;
+  tf_config.heads = 2;
+  tf_config.layers = 2;
+  tf_config.d_ff = 12;
+  tf_config.max_seq = 24;
+  Rng rng(71);
+  registry.add_transformer("tf",
+                           nn::TransformerModel::random(tf_config, rng));
+
+  std::vector<serve::TokenRequest> requests;
+  Rng load(72);
+  for (std::size_t i = 0; i < 6; ++i) {
+    serve::TokenRequest request;
+    request.id = i;
+    request.tenant = i % 2 == 0 ? "acme" : "globex";
+    request.model = "tf";
+    request.arrival = static_cast<double>(i) * 1e-9;
+    const std::size_t prompt_len = 1 + load.below(4);
+    for (std::size_t t = 0; t < prompt_len; ++t) {
+      request.prompt.push_back(load.below(tf_config.vocab));
+    }
+    request.max_new = 3 + load.below(6);
+    requests.push_back(std::move(request));
+  }
+
+  serve::TokenServer server(registry);
+  telemetry::Tracer tracer;
+  server.set_tracer(&tracer);
+  serve::TokenPolicy policy;
+  policy.schedule = serve::TokenPolicy::Schedule::kContinuous;
+  policy.kv_budget_rows = 8 * tf_config.layers;
+  const serve::TokenServeReport report = server.run(requests, policy);
+  ASSERT_GT(report.preemptions, 0u);
+
+  std::size_t token_steps = 0;
+  std::size_t preempts = 0;
+  std::size_t evictions = 0;
+  for (const telemetry::TraceEvent& event : tracer.events()) {
+    if (event.name == "token_step") ++token_steps;
+    if (event.name == "request_preempted") ++preempts;
+    if (event.name == "kv_evicted") ++evictions;
+  }
+  EXPECT_EQ(token_steps, report.steps);
+  EXPECT_EQ(preempts, report.preemptions);
+  EXPECT_EQ(evictions, report.preemptions);  // one eviction per preemption
+  const std::vector<std::string> problems =
+      telemetry::lint_chrome_trace(tracer.chrome_json());
+  EXPECT_TRUE(problems.empty()) << problems.front();
 }
 
 TEST(Trace, ServerFaultRunEmitsLintCleanFaultInstants) {

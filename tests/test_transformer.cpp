@@ -1,0 +1,469 @@
+// Transformer decoding: the incremental KV-cache decode path against the
+// compiled full-sequence graph, over seeded random (seq_len, heads,
+// d_model) draws.  The contracts the serving layer leans on:
+//  (1) decode_step's logits are bitwise equal to the compiled graph's
+//      final-position logits on the float backend (same helpers, same
+//      accumulation order),
+//  (2) the fleet executes the full-sequence graph bit-identically to a
+//      single photonic core and within ADC tolerance of the float
+//      reference,
+//  (3) a request's token stream is independent of how decode steps
+//      interleave with other requests — the property that makes
+//      continuous batching's output bit-identical to sequential decoding.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/tensor_core.hpp"
+#include "graph/compile.hpp"
+#include "graph/executor.hpp"
+#include "graph/ir.hpp"
+#include "nn/backend.hpp"
+#include "nn/transformer.hpp"
+#include "runtime/accelerator.hpp"
+#include "runtime/backend.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/token_server.hpp"
+
+namespace {
+
+using namespace ptc;
+using nn::KvCache;
+using nn::TransformerConfig;
+using nn::TransformerModel;
+
+Matrix ids_row(const std::vector<std::size_t>& tokens) {
+  Matrix x(1, tokens.size());
+  for (std::size_t p = 0; p < tokens.size(); ++p)
+    x(0, p) = static_cast<double>(tokens[p]);
+  return x;
+}
+
+std::vector<std::size_t> random_tokens(std::size_t count, std::size_t vocab,
+                                       Rng& rng) {
+  std::vector<std::size_t> tokens(count);
+  for (auto& t : tokens) t = rng.below(vocab);
+  return tokens;
+}
+
+// ---------------------------------------------------------------------------
+// Graph construction
+// ---------------------------------------------------------------------------
+
+TEST(Transformer, GraphShapesAndStepKinds) {
+  Rng rng(11);
+  const TransformerConfig config{.vocab = 16,
+                                 .d_model = 8,
+                                 .heads = 2,
+                                 .layers = 1,
+                                 .d_ff = 12,
+                                 .max_seq = 8};
+  const TransformerModel model = TransformerModel::random(config, rng);
+  const graph::Graph g = model.build_graph(5);
+  EXPECT_EQ(g.node(g.output_id()).shape, (graph::Shape{{5, 16}}));
+
+  const graph::CompiledGraph cg = graph::compile(g);
+  std::size_t pairs = 0;
+  for (const auto& step : cg.steps)
+    if (step.kind == graph::Step::Kind::kMatmulPair) ++pairs;
+  // Two activation x activation products per head: scores and context.
+  EXPECT_EQ(pairs, 2u * config.heads);
+}
+
+TEST(Transformer, PassCountsMatchTheCompiledSchedule) {
+  Rng rng(12);
+  const TransformerConfig config{.vocab = 16,
+                                 .d_model = 16,
+                                 .heads = 2,
+                                 .layers = 2,
+                                 .d_ff = 24,
+                                 .max_seq = 16};
+  const TransformerModel model = TransformerModel::random(config, rng);
+  const std::size_t seq = 9;
+  const graph::CompiledGraph cg = graph::compile(model.build_graph(seq));
+  const graph::PassProfile profile = cg.pass_profile(16, 16, true);
+
+  std::size_t weight_tiles = 0;
+  std::size_t attention_tiles = 0;
+  for (const auto& sp : profile.steps) {
+    const auto kind = cg.steps[sp.step].kind;
+    if (kind == graph::Step::Kind::kMatmul) weight_tiles += sp.passes;
+    if (kind == graph::Step::Kind::kMatmulPair) attention_tiles += sp.passes;
+  }
+  EXPECT_EQ(model.weight_passes(16, 16, true), weight_tiles);
+  EXPECT_EQ(model.attention_passes(seq, 16, 16, true), attention_tiles);
+}
+
+// ---------------------------------------------------------------------------
+// Contract 1: decode == compiled graph, bitwise, on the float backend
+// ---------------------------------------------------------------------------
+
+TEST(Transformer, DecodeMatchesCompiledGraphBitwiseOnFloatBackend) {
+  Rng param_rng(21);
+  for (std::size_t trial = 0; trial < 6; ++trial) {
+    const std::size_t heads = 1 + param_rng.below(3);  // 1..3 heads
+    const TransformerConfig config{
+        .vocab = 8 + static_cast<std::size_t>(param_rng.below(17)),
+        .d_model = heads * (4 + static_cast<std::size_t>(param_rng.below(3))),
+        .heads = heads,
+        .layers = 1 + static_cast<std::size_t>(param_rng.below(2)),
+        .d_ff = 8 + static_cast<std::size_t>(param_rng.below(17)),
+        .max_seq = 16};
+    Rng weight_rng(100 + trial);
+    const TransformerModel model = TransformerModel::random(config, weight_rng);
+    const std::size_t seq = 1 + param_rng.below(6);
+    const std::vector<std::size_t> tokens =
+        random_tokens(seq, config.vocab, param_rng);
+
+    nn::FloatBackend backend;
+    const graph::CompiledGraph cg = graph::compile(model.build_graph(seq));
+    const Matrix full = graph::run(cg, backend, ids_row(tokens));
+    ASSERT_EQ(full.cols(), seq * config.vocab);
+
+    KvCache cache = model.make_cache();
+    std::vector<double> logits;
+    for (const std::size_t token : tokens)
+      logits = model.decode_step(backend, cache, token);
+    EXPECT_EQ(cache.length, seq);
+    EXPECT_EQ(cache.rows(), seq * config.layers);
+
+    ASSERT_EQ(logits.size(), config.vocab);
+    for (std::size_t j = 0; j < config.vocab; ++j) {
+      EXPECT_EQ(logits[j], full(0, (seq - 1) * config.vocab + j))
+          << "trial " << trial << " logit " << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Contract 2: fleet == single core bitwise; fleet ~= float within tolerance
+// ---------------------------------------------------------------------------
+
+TEST(Transformer, FleetForwardIsBitIdenticalToASinglePhotonicCore) {
+  Rng rng(31);
+  const TransformerConfig config{.vocab = 16,
+                                 .d_model = 16,
+                                 .heads = 2,
+                                 .layers = 2,
+                                 .d_ff = 24,
+                                 .max_seq = 8};
+  const TransformerModel model = TransformerModel::random(config, rng);
+  const std::vector<std::size_t> tokens = random_tokens(6, config.vocab, rng);
+  const graph::CompiledGraph cg = graph::compile(model.build_graph(6));
+
+  nn::PhotonicBackendOptions options;
+  options.differential_weights = true;
+
+  core::TensorCore core;
+  nn::PhotonicBackend single(core, options);
+  const Matrix y_single = graph::run(cg, single, ids_row(tokens));
+
+  runtime::Accelerator accelerator({.cores = 8});
+  runtime::AcceleratorBackend fleet(accelerator, options);
+  const Matrix y_fleet = graph::run(cg, fleet, ids_row(tokens));
+
+  EXPECT_EQ(y_fleet.max_abs_diff(y_single), 0.0);
+}
+
+TEST(Transformer, AnalogFleetTracksTheFloatReferenceWithinAdcTolerance) {
+  Rng rng(32);
+  const TransformerConfig config{.vocab = 16,
+                                 .d_model = 16,
+                                 .heads = 2,
+                                 .layers = 1,
+                                 .d_ff = 16,
+                                 .max_seq = 8};
+  const TransformerModel model = TransformerModel::random(config, rng);
+  const std::vector<std::size_t> tokens = random_tokens(5, config.vocab, rng);
+  const graph::CompiledGraph cg = graph::compile(model.build_graph(5));
+
+  nn::FloatBackend reference;
+  const Matrix y_ref = graph::run(cg, reference, ids_row(tokens));
+
+  nn::PhotonicBackendOptions options;
+  options.quantize_output = false;  // isolate 3-bit weight quantization
+  options.differential_weights = true;
+  runtime::Accelerator accelerator({.cores = 4});
+  runtime::AcceleratorBackend fleet(accelerator, options);
+  const Matrix y_pho = graph::run(cg, fleet, ids_row(tokens));
+
+  // Layernorms re-center each position, so quantization noise stays
+  // bounded: same network, analog tolerance.
+  EXPECT_LT(y_pho.max_abs_diff(y_ref), 0.5 * y_ref.norm());
+  EXPECT_GT(y_pho.max_abs_diff(y_ref), 0.0);  // genuinely analog
+}
+
+// ---------------------------------------------------------------------------
+// Contract 3: decode is independent of interleaving (continuous batching)
+// ---------------------------------------------------------------------------
+
+TEST(Transformer, InterleavedDecodingMatchesSequentialBitwise) {
+  Rng rng(41);
+  const TransformerConfig config{.vocab = 24,
+                                 .d_model = 12,
+                                 .heads = 2,
+                                 .layers = 2,
+                                 .d_ff = 16,
+                                 .max_seq = 24};
+  const TransformerModel model = TransformerModel::random(config, rng);
+  nn::FloatBackend backend;
+
+  const std::vector<std::vector<std::size_t>> prompts = {
+      random_tokens(3, config.vocab, rng),
+      random_tokens(5, config.vocab, rng),
+      random_tokens(1, config.vocab, rng)};
+
+  // Sequential reference: each request decoded alone, start to finish.
+  std::vector<std::vector<std::size_t>> sequential;
+  for (const auto& prompt : prompts)
+    sequential.push_back(model.generate(backend, prompt, 8));
+
+  // Interleaved: round-robin one decode step per request per round — the
+  // schedule continuous batching produces.  Same caches, different order.
+  std::vector<KvCache> caches;
+  std::vector<std::vector<std::size_t>> streams = prompts;
+  std::vector<std::size_t> fed(prompts.size(), 0);
+  std::vector<std::vector<double>> logits(prompts.size());
+  for (std::size_t r = 0; r < prompts.size(); ++r)
+    caches.push_back(model.make_cache());
+  for (std::size_t round = 0; round < 16; ++round) {
+    for (std::size_t r = 0; r < prompts.size(); ++r) {
+      if (streams[r].size() >= sequential[r].size() &&
+          fed[r] == streams[r].size()) {
+        continue;  // done generating
+      }
+      if (fed[r] < streams[r].size()) {
+        logits[r] = model.decode_step(backend, caches[r], streams[r][fed[r]]);
+        ++fed[r];
+      }
+      if (fed[r] == streams[r].size() &&
+          streams[r].size() < sequential[r].size()) {
+        std::size_t best = 0;
+        for (std::size_t j = 1; j < logits[r].size(); ++j)
+          if (logits[r][j] > logits[r][best]) best = j;
+        streams[r].push_back(best);
+      }
+    }
+  }
+  for (std::size_t r = 0; r < prompts.size(); ++r) {
+    EXPECT_EQ(streams[r], sequential[r]) << "request " << r;
+  }
+}
+
+TEST(Transformer, GenerateIsDeterministicAndBoundedByContextWindow) {
+  Rng rng(51);
+  const TransformerConfig config{.vocab = 12,
+                                 .d_model = 8,
+                                 .heads = 2,
+                                 .layers = 1,
+                                 .d_ff = 8,
+                                 .max_seq = 6};
+  const TransformerModel model = TransformerModel::random(config, rng);
+  nn::FloatBackend backend;
+  const std::vector<std::size_t> prompt = {3, 1};
+
+  const auto a = model.generate(backend, prompt, 10);
+  const auto b = model.generate(backend, prompt, 10);
+  EXPECT_EQ(a, b);
+  // 6-position window: 2 prompt positions leave 4 decodable continuations
+  // plus the final argmax that needs no new position.
+  EXPECT_LE(a.size(), config.max_seq + 1);
+  EXPECT_GT(a.size(), prompt.size());
+}
+
+// ---------------------------------------------------------------------------
+// Token-level serving: continuous batching
+// ---------------------------------------------------------------------------
+
+nn::TransformerModel serving_model() {
+  Rng rng(71);
+  const TransformerConfig config{.vocab = 16,
+                                 .d_model = 8,
+                                 .heads = 2,
+                                 .layers = 2,
+                                 .d_ff = 12,
+                                 .max_seq = 24};
+  return TransformerModel::random(config, rng);
+}
+
+std::vector<serve::TokenRequest> serving_requests(
+    const TransformerConfig& config) {
+  Rng rng(72);
+  std::vector<serve::TokenRequest> requests;
+  const char* tenants[] = {"acme", "acme", "globex", "initech", "globex",
+                           "acme"};
+  for (std::size_t i = 0; i < 6; ++i) {
+    serve::TokenRequest request;
+    request.id = i;
+    request.tenant = tenants[i];
+    request.model = "tf";
+    // Near-simultaneous arrivals: decode steps are ns-scale, so a visible
+    // stagger would serialize the run and no batch would ever form.
+    request.arrival = static_cast<double>(i) * 1e-9;
+    request.prompt = random_tokens(1 + rng.below(4), config.vocab, rng);
+    request.max_new = 3 + rng.below(6);
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+TEST(TokenServing, ContinuousBatchingIsBitIdenticalToSequentialDecoding) {
+  const TransformerModel model = serving_model();
+  const auto requests = serving_requests(model.config());
+
+  // 32 cores hold all of this model's static weight tiles simultaneously,
+  // so back-to-back decode steps ride residency (warm passes below).
+  runtime::Accelerator accelerator({.cores = 32});
+  serve::ModelRegistry registry(accelerator);
+  registry.add_transformer("tf", model);
+  serve::TokenServer server(registry);
+  const serve::TokenServeReport report =
+      server.run(requests, {.schedule =
+                                serve::TokenPolicy::Schedule::kContinuous,
+                            .max_batch = 3});
+
+  ASSERT_EQ(report.completed, requests.size());
+  // Each request's token stream must equal decoding it alone, start to
+  // finish, on the same fleet backend — continuous batching changes when
+  // tokens happen, never which tokens.
+  for (const auto& record : report.requests) {
+    const auto& request = requests[record.id];
+    const auto expected = model.generate(registry.decode_backend(),
+                                         request.prompt, request.max_new);
+    EXPECT_EQ(record.tokens, expected) << "request " << record.id;
+    EXPECT_EQ(record.generated, record.tokens.size() - record.prompt_tokens);
+    EXPECT_GE(record.first_token, record.arrival);
+    EXPECT_GE(record.completion, record.first_token);
+  }
+  EXPECT_GT(report.tokens_per_second(), 0.0);
+  EXPECT_GT(report.energy_per_token(), 0.0);
+  // Static weight tiles ride residency after the first step.
+  EXPECT_GT(report.warm_fraction(), 0.0);
+  EXPECT_GT(report.kv_peak_rows, 0u);
+}
+
+TEST(TokenServing, ReportIsByteStableAcrossHostThreadCounts) {
+  const TransformerModel model = serving_model();
+  const auto requests = serving_requests(model.config());
+
+  std::vector<std::vector<std::size_t>> tokens[3];
+  double p99[3], energy[3], makespan[3];
+  const std::size_t threads[] = {1, 2, 8};
+  for (std::size_t i = 0; i < 3; ++i) {
+    runtime::Accelerator accelerator({.cores = 4, .threads = threads[i]});
+    serve::ModelRegistry registry(accelerator);
+    registry.add_transformer("tf", model);
+    serve::TokenServer server(registry);
+    const auto report = server.run(
+        requests,
+        {.schedule = serve::TokenPolicy::Schedule::kContinuous,
+         .max_batch = 3});
+    for (const auto& record : report.requests)
+      tokens[i].push_back(record.tokens);
+    p99[i] = report.total.p99;
+    energy[i] = report.energy;
+    makespan[i] = report.makespan;
+  }
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_EQ(tokens[i], tokens[0]);
+    EXPECT_EQ(p99[i], p99[0]);
+    EXPECT_EQ(energy[i], energy[0]);
+    EXPECT_EQ(makespan[i], makespan[0]);
+  }
+}
+
+TEST(TokenServing, StaticScheduleHoldsSlotsUntilTheBatchDrains) {
+  const TransformerModel model = serving_model();
+  const auto requests = serving_requests(model.config());
+
+  runtime::Accelerator accelerator({.cores = 4});
+  serve::ModelRegistry registry(accelerator);
+  registry.add_transformer("tf", model);
+  serve::TokenServer server(registry);
+  const auto report = server.run(
+      requests, {.schedule = serve::TokenPolicy::Schedule::kStatic,
+                 .max_batch = 3});
+  ASSERT_EQ(report.completed, requests.size());
+  // Outputs stay bit-identical under the other schedule too.
+  for (const auto& record : report.requests) {
+    const auto& request = requests[record.id];
+    EXPECT_EQ(record.tokens,
+              model.generate(registry.decode_backend(), request.prompt,
+                             request.max_new));
+  }
+}
+
+TEST(TokenServing, KvBudgetPreemptsYoungestAndOutputsStayBitIdentical) {
+  const TransformerModel model = serving_model();
+  const auto requests = serving_requests(model.config());
+  const std::size_t layers = model.config().layers;
+
+  runtime::Accelerator accelerator({.cores = 4});
+  serve::ModelRegistry registry(accelerator);
+  registry.add_transformer("tf", model);
+  serve::TokenServer server(registry);
+  // Budget fits ~2 requests' worth of modest contexts: the third admission
+  // forces growth past the line and the youngest request loses its cache.
+  const auto report = server.run(
+      requests, {.schedule = serve::TokenPolicy::Schedule::kContinuous,
+                 .max_batch = 3,
+                 .kv_budget_rows = 8 * layers});
+  ASSERT_EQ(report.completed, requests.size());
+  EXPECT_GT(report.preemptions, 0u);
+  EXPECT_GT(report.kv_evicted_rows, 0u);
+  // The budget caps concurrent KV state (a lone request may exceed it —
+  // the progress guarantee — but concurrency cannot): peak residency must
+  // sit well under the unbudgeted run's.
+  {
+    runtime::Accelerator free_accelerator({.cores = 4});
+    serve::ModelRegistry free_registry(free_accelerator);
+    free_registry.add_transformer("tf", model);
+    serve::TokenServer free_server(free_registry);
+    const auto unbudgeted = free_server.run(
+        requests, {.schedule = serve::TokenPolicy::Schedule::kContinuous,
+                   .max_batch = 3});
+    EXPECT_LT(report.kv_peak_rows, unbudgeted.kv_peak_rows);
+  }
+  // Preemption drops the cache, not the result: the re-prefilled request
+  // regenerates the same stream bit for bit.
+  for (const auto& record : report.requests) {
+    const auto& request = requests[record.id];
+    EXPECT_EQ(record.tokens,
+              model.generate(registry.decode_backend(), request.prompt,
+                             request.max_new))
+        << "request " << record.id << " (preempted " << record.preemptions
+        << "x)";
+  }
+  // A preempted request decodes its prefill twice: it is billed for more
+  // tokens than an unpreempted run would charge.
+  std::size_t billed = 0;
+  for (const auto& row : report.tenant_costs) billed += row.tokens;
+  std::size_t lower_bound = 0;
+  for (const auto& record : report.requests)
+    lower_bound += record.tokens.size() - 1;
+  EXPECT_GT(billed, lower_bound);
+}
+
+TEST(Transformer, DecodeRejectsBadTokensAndOverflowingContext) {
+  Rng rng(61);
+  const TransformerConfig config{.vocab = 8,
+                                 .d_model = 8,
+                                 .heads = 1,
+                                 .layers = 1,
+                                 .d_ff = 8,
+                                 .max_seq = 2};
+  const TransformerModel model = TransformerModel::random(config, rng);
+  nn::FloatBackend backend;
+  KvCache cache = model.make_cache();
+  EXPECT_THROW(model.decode_step(backend, cache, 8), std::invalid_argument);
+  model.decode_step(backend, cache, 1);
+  model.decode_step(backend, cache, 2);
+  EXPECT_THROW(model.decode_step(backend, cache, 3), std::invalid_argument);
+  cache.clear();
+  EXPECT_EQ(cache.rows(), 0u);
+  model.decode_step(backend, cache, 3);  // usable again after clear()
+}
+
+}  // namespace
